@@ -1,0 +1,85 @@
+"""Ablation benchmarks for design choices called out in DESIGN.md.
+
+Not figures from the paper — these quantify individual design decisions:
+
+1. **Lock-Store one-phase commit** — the paper's Lock-Store runs full
+   2PC for every transaction; enabling the standard single-shard
+   one-phase shortcut shows how much of its gap to Eris is protocol
+   rounds vs. replication.
+2. **Sequencer deployment** — Eris end-to-end throughput/latency under
+   the in-switch, middlebox, and end-host sequencer profiles (§5.4's
+   deployment options).
+3. **Drop-detection grace period** — the delay between observing a
+   sequence gap and starting recovery trades spurious recoveries (too
+   eager) against added latency for real drops (too lazy).
+"""
+
+import pytest
+
+from bench_common import YCSBBench, print_paper_comparison, run_ycsb
+from repro.core.replica import ErisConfig
+
+
+def test_ablation_lockstore_one_phase(benchmark):
+    def run():
+        base = run_ycsb(YCSBBench(system="lockstore",
+                                  workload="srw"))[1].throughput
+        fast = run_ycsb(YCSBBench(
+            system="lockstore", workload="srw",
+            config_overrides={"lockstore_one_phase": True}))[1].throughput
+        return base, fast
+
+    base, fast = benchmark.pedantic(run, iterations=1, rounds=1)
+    print_paper_comparison(
+        "Ablation — Lock-Store one-phase commit (SRW)",
+        ["variant", "txn/s"],
+        [["full 2PC (paper)", base], ["one-phase single-shard", fast],
+         ["speedup", f"{fast / base:.2f}x"]])
+    assert fast > 1.3 * base
+
+
+def test_ablation_sequencer_profiles(benchmark):
+    def run():
+        out = {}
+        for profile in ("in-switch", "middlebox", "endhost"):
+            _, result = run_ycsb(YCSBBench(
+                system="eris", workload="srw", n_clients=150,
+                config_overrides={"sequencer_profile": profile}))
+            out[profile] = (result.throughput, result.mean_latency)
+        return out
+
+    out = benchmark.pedantic(run, iterations=1, rounds=1)
+    rows = [[name, tput, lat * 1e6] for name, (tput, lat) in out.items()]
+    print_paper_comparison(
+        "Ablation — Eris under different sequencer deployments (§5.4)",
+        ["profile", "txn/s", "mean us"], rows)
+    # Latency strictly orders by the profile's added delay.
+    assert out["in-switch"][1] < out["middlebox"][1] < out["endhost"][1]
+
+
+def test_ablation_drop_detection_delay(benchmark):
+    def run():
+        out = {}
+        for delay in (0.0, 100e-6, 2e-3):
+            cluster, result = run_ycsb(YCSBBench(
+                system="eris", workload="srw", drop_rate=5e-3,
+                n_clients=120, drain=20e-3,
+                config_overrides={
+                    "eris": ErisConfig(drop_detection_delay=delay)}))
+            recoveries = sum(r.drops_recovered_from_peer
+                             + r.drops_escalated_to_fc
+                             for reps in cluster.replicas.values()
+                             for r in reps)
+            out[delay] = (result.throughput, recoveries)
+        return out
+
+    out = benchmark.pedantic(run, iterations=1, rounds=1)
+    rows = [[f"{delay * 1e6:g} us", tput, recoveries]
+            for delay, (tput, recoveries) in out.items()]
+    print_paper_comparison(
+        "Ablation — drop-detection grace period (0.5% loss)",
+        ["grace", "txn/s", "recovery actions"], rows,
+        notes="Too-eager recovery wastes work on reordered packets; "
+              "too-lazy recovery stalls the delivery queue.")
+    # An overly long grace period costs throughput under real loss.
+    assert out[2e-3][0] < out[100e-6][0] * 1.05

@@ -1,0 +1,49 @@
+"""Figure 11 — throughput scalability with the number of shards.
+
+Paper: MRMW, 20% distributed, Zipf 0.5, shard count swept 1..15. Eris
+scales nearly linearly because multi-sequencing delivers each message
+only to its participants. Eris-OUM — the total-global-sequencing
+strawman of §5.1 — delivers every message to every server and does not
+scale.
+"""
+
+import pytest
+
+from bench_common import YCSBBench, print_paper_comparison, run_ycsb
+
+SHARDS = (1, 2, 4, 6)
+SYSTEMS = ("eris", "eris-oum", "ntur", "lockstore")
+
+
+def test_fig11_shard_scalability(benchmark):
+    def run():
+        table = {}
+        for system in SYSTEMS:
+            table[system] = []
+            for n_shards in SHARDS:
+                clients = 90 * n_shards  # keep each point saturated
+                _, result = run_ycsb(YCSBBench(
+                    system=system, workload="mrmw",
+                    distributed_fraction=0.2, zipf_theta=0.5,
+                    n_shards=n_shards, n_clients=clients))
+                table[system].append(result.throughput)
+        return table
+
+    table = benchmark.pedantic(run, iterations=1, rounds=1)
+
+    rows = [[system] + list(table[system]) for system in SYSTEMS]
+    print_paper_comparison(
+        "Fig 11 — throughput vs number of shards (MRMW, 20% dist.)",
+        ["system"] + [f"{s} shards" for s in SHARDS], rows,
+        notes="Paper: Eris scales nearly perfectly; Eris-OUM (global "
+              "sequencing) does not, since every server receives every "
+              "message.")
+
+    def scaling(system):
+        return table[system][-1] / table[system][0]
+
+    ideal = SHARDS[-1] / SHARDS[0]
+    assert scaling("eris") > 0.6 * ideal       # near-linear
+    assert scaling("eris-oum") < 0.5 * scaling("eris")   # flat-ish
+    # At the largest deployment Eris dwarfs the strawman.
+    assert table["eris"][-1] > 2 * table["eris-oum"][-1]

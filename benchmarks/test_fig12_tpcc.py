@@ -1,0 +1,47 @@
+"""Figure 12 — TPC-C new-order throughput (10% distributed).
+
+Paper: 15 warehouses, H-Store partitioning, all five TPC-C transactions
+expressed as independent transactions. Eris reaches 221K new-order
+txns/s — within 3% of NT-UR and 2.75x / 6.38x / 7.6x over Granola /
+TAPIR / Lock-Store, which run with locking and undo logging.
+"""
+
+import pytest
+
+from bench_common import print_paper_comparison, run_tpcc
+
+SYSTEMS = ("eris", "granola", "tapir", "lockstore", "ntur")
+PAPER_RATIO_OVER_ERIS = {"granola": 2.75, "tapir": 6.38, "lockstore": 7.6}
+
+
+def test_fig12_tpcc_new_order_throughput(benchmark):
+    def run():
+        return {system: run_tpcc(system)[1] for system in SYSTEMS}
+
+    results = benchmark.pedantic(run, iterations=1, rounds=1)
+
+    rows = [[system, results[system].throughput,
+             results[system].mean_latency * 1e6,
+             results[system].aborted]
+            for system in SYSTEMS]
+    print_paper_comparison(
+        "Fig 12 — TPC-C new-order throughput (10% distributed)",
+        ["system", "new-order/s", "mean us", "aborted"], rows)
+
+    tput = {system: results[system].throughput for system in SYSTEMS}
+    ratio_rows = [[f"eris / {system}",
+                   f"{PAPER_RATIO_OVER_ERIS[system]:.2f}x",
+                   f"{tput['eris'] / tput[system]:.2f}x"]
+                  for system in ("granola", "tapir", "lockstore")]
+    ratio_rows.append(["ntur / eris", "~1.03x",
+                       f"{tput['ntur'] / tput['eris']:.2f}x"])
+    print_paper_comparison("Fig 12 — ratios (paper vs measured)",
+                           ["ratio", "paper", "measured"], ratio_rows)
+
+    # Shape: Eris ~ NT-UR; clear multiples over the layered systems.
+    assert tput["eris"] > 0.8 * tput["ntur"]
+    assert tput["eris"] > 1.8 * tput["granola"]
+    assert tput["eris"] > 2.2 * tput["tapir"]
+    assert tput["eris"] > 2.5 * tput["lockstore"]
+    # The 1% invalid-item aborts show up but stay marginal.
+    assert results["eris"].aborted < 0.05 * results["eris"].committed

@@ -1,0 +1,65 @@
+"""Figure 13 — SRW throughput as the simulated packet drop rate grows.
+
+Paper: drop rates 0.001%..10%. At 1% loss Eris only loses ~10% of its
+throughput — replicas detect drops instantly from sequence numbers and
+usually recover from same-shard peers without the FC. TAPIR degrades
+badly (replica state divergence forces its slow path). At 10% Eris
+falls below Granola.
+"""
+
+import pytest
+
+from bench_common import YCSBBench, print_paper_comparison, run_ycsb
+
+DROP_RATES = (0.0, 1e-4, 1e-3, 1e-2, 5e-2)
+SYSTEMS = ("eris", "granola", "tapir", "lockstore", "ntur")
+
+
+def test_fig13_drop_rate_sweep(benchmark):
+    def run():
+        table = {}
+        recoveries = {}
+        for system in SYSTEMS:
+            table[system] = []
+            for rate in DROP_RATES:
+                cluster, result = run_ycsb(YCSBBench(
+                    system=system, workload="srw", drop_rate=rate,
+                    n_clients=150, drain=20e-3))
+                table[system].append(result.throughput)
+                if system == "eris":
+                    recoveries[rate] = sum(
+                        r.drops_recovered_from_peer
+                        for reps in cluster.replicas.values()
+                        for r in reps)
+        return table, recoveries
+
+    table, recoveries = benchmark.pedantic(run, iterations=1, rounds=1)
+
+    rows = []
+    for system in SYSTEMS:
+        base = table[system][0]
+        rows.append([system] + [table[system][i] / base
+                                for i in range(len(DROP_RATES))])
+    print_paper_comparison(
+        "Fig 13 — SRW normalized throughput vs packet drop rate",
+        ["system"] + [f"{r * 100:g}%" for r in DROP_RATES], rows,
+        notes=f"Eris peer recoveries per rate: {recoveries}\n"
+              "Paper: Eris loses ~10% at 1% loss; TAPIR degrades "
+              "hardest (slow-path consensus).")
+
+    def normalized(system, i):
+        return table[system][i] / table[system][0]
+
+    one_percent = DROP_RATES.index(1e-2)
+    # Eris degrades modestly at 1% loss and recovers drops from peers.
+    assert normalized("eris", one_percent) > 0.6
+    assert recoveries[1e-2] > 0
+    # Up to 1% loss Eris holds at least even with TAPIR and clearly
+    # beats the layered VR systems. (At the top rate the paper itself
+    # reports Eris degrading heavily — below Granola at 10% — so no
+    # ordering is asserted there.)
+    for i in range(1, one_percent + 1):
+        assert normalized("eris", i) >= normalized("tapir", i) - 0.05
+        assert normalized("eris", i) >= normalized("lockstore", i) - 0.05
+    # Heavy loss hurts everyone.
+    assert normalized("eris", -1) < 0.9

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Quickstart: build an Eris deployment and commit transactions.
+
+Builds a 3-shard, 3-replicas-per-shard Eris cluster on the simulated
+network (multi-sequencing middlebox, SDN controller, failure
+coordinator), registers a tiny stored procedure, and commits both
+single-shard and multi-shard independent transactions — each in a
+single round trip from the client, with no server-to-server
+coordination.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.baselines.common import WorkloadOp
+from repro.harness import ClusterConfig, build_cluster
+from repro.harness.checkers import run_all_checks
+from repro.store import ProcedureRegistry
+from repro.workloads import Partitioner
+
+
+def transfer_points(ctx, args):
+    """An independent transaction: unconditionally credit every listed
+    player (each shard updates only the keys it owns)."""
+    credited = {}
+    for player, points in args["credits"].items():
+        if ctx.owns(player):
+            balance = ctx.get(player)
+            balance = 0 if not isinstance(balance, int) else balance
+            ctx.put(player, balance + points)
+            credited[player] = balance + points
+    return credited
+
+
+def main() -> None:
+    registry = ProcedureRegistry()
+    registry.register("transfer_points", transfer_points)
+
+    partitioner = Partitioner(n_shards=3)
+    cluster = build_cluster(
+        ClusterConfig(system="eris", n_shards=3, n_replicas=3),
+        registry, partitioner)
+    client = cluster.make_client()
+
+    outcomes = []
+    players = ["ada", "grace", "barbara", "katherine"]
+    for round_number in range(5):
+        credits = {player: 10 * (round_number + 1) for player in players}
+        op = WorkloadOp(
+            proc="transfer_points",
+            args={"credits": credits},
+            participants=partitioner.participants_for(players),
+            write_keys=frozenset(players),
+        )
+        client.submit(op, outcomes.append)
+
+    # Drive the simulated world until everything settles.
+    cluster.loop.run(until=0.1)
+
+    print("committed transactions:")
+    for outcome in outcomes:
+        print(f"  committed={outcome.committed} "
+              f"latency={outcome.latency * 1e6:.1f} us "
+              f"result={outcome.result}")
+
+    print("\nfinal balances (read from each shard's Designated Learner):")
+    for player in players:
+        shard = partitioner.shard_of(player)
+        value = cluster.authoritative_store(shard).get(player)
+        print(f"  {player:10s} shard={shard} balance={value}")
+
+    run_all_checks(cluster)
+    print("\nall §6.7 invariants verified: serializable, atomic, "
+          "replicas consistent")
+
+
+if __name__ == "__main__":
+    main()

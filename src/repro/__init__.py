@@ -1,0 +1,46 @@
+"""Eris: coordination-free consistent transactions using in-network
+concurrency control — a Python reproduction of Li, Michael & Ports
+(SOSP 2017).
+
+Quick tour (see README.md for a full walkthrough):
+
+>>> from repro.harness import ClusterConfig, build_cluster, run_experiment
+>>> from repro.workloads import Partitioner, YCSBConfig, YCSBWorkload
+>>> # build an Eris deployment, load YCSB keys, drive closed-loop load
+
+Subpackages:
+
+- ``repro.sim`` — discrete-event simulation kernel
+- ``repro.net`` — groupcast, multi-sequencing, SDN controller (§5)
+- ``repro.store`` — KV store, stored procedures, locks, undo logs
+- ``repro.replication`` — Viewstamped Replication for the baselines
+- ``repro.core`` — the Eris protocol (§6) and general transactions (§7)
+- ``repro.baselines`` — NT-UR, Lock-Store, TAPIR, Granola (§8)
+- ``repro.workloads`` — YCSB+T and TPC-C generators
+- ``repro.harness`` — cluster builder, experiments, checkers, faults
+"""
+
+__version__ = "1.0.0"
+
+from repro.errors import (
+    ConfigurationError,
+    InvariantViolation,
+    LockConflict,
+    NetworkError,
+    ReproError,
+    SimulationError,
+    TransactionAborted,
+    UnknownProcedureError,
+)
+
+__all__ = [
+    "__version__",
+    "ConfigurationError",
+    "InvariantViolation",
+    "LockConflict",
+    "NetworkError",
+    "ReproError",
+    "SimulationError",
+    "TransactionAborted",
+    "UnknownProcedureError",
+]

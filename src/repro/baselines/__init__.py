@@ -1,0 +1,36 @@
+"""The comparison systems from the paper's evaluation (§8).
+
+All four are implemented on the same simulated substrate as Eris,
+mirroring the paper's methodology ("All systems were implemented in the
+same C++ framework as Eris, and all transactions used stored
+procedures"):
+
+- :mod:`repro.baselines.ntur` — NT-UR: non-transactional, unreplicated;
+  the throughput ceiling any system with the same shard count could
+  reach.
+- :mod:`repro.baselines.lockstore` — Lock-Store: two-phase commit +
+  two-phase locking + VR replication (the Spanner-like layered design).
+- :mod:`repro.baselines.tapir` — TAPIR: inconsistent replication with a
+  fast path plus OCC, with extra commit/finalize messages per txn.
+- :mod:`repro.baselines.granola` — Granola: timestamp-coordinated
+  independent transactions over VR, with a locking mode for
+  non-independent workloads.
+"""
+
+from repro.baselines.common import WorkloadOp
+from repro.baselines.ntur import NTURClient, NTURServer
+from repro.baselines.lockstore import LockStoreClient, LockStoreReplica
+from repro.baselines.tapir import TapirClient, TapirReplica
+from repro.baselines.granola import GranolaClient, GranolaReplica
+
+__all__ = [
+    "WorkloadOp",
+    "NTURClient",
+    "NTURServer",
+    "LockStoreClient",
+    "LockStoreReplica",
+    "TapirClient",
+    "TapirReplica",
+    "GranolaClient",
+    "GranolaReplica",
+]

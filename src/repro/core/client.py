@@ -1,0 +1,193 @@
+"""The Eris client (§6.1–6.2).
+
+Clients send independent transactions straight to every replica of
+every participant shard through multi-sequenced groupcast, then wait
+for a view-consistent quorum of REPLYs from each shard — a majority
+with matching (epoch-num, view-num, txn-index) *including the DL*,
+whose reply carries the execution result. In the normal case that is
+one round trip with no server-to-server communication at all
+(Figure 5).
+
+Clients retry unacknowledged transactions (the retry is stamped fresh
+by the sequencer; replicas' at-most-once tables suppress
+re-execution, §6.1), so the client also provides the reliability
+backstop against packets the in-network layer dropped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.core.messages import (
+    IndependentTxnRequest,
+    ReconRead,
+    ReconReply,
+    TxnReply,
+)
+from repro.core.quorum import ViewConsistentQuorum
+from repro.core.transaction import IndependentTransaction, TxnId
+from repro.net.endpoint import Node
+from repro.net.message import Address, GroupId, Packet
+from repro.net.network import Network
+from repro.sim.process import Timer
+
+
+@dataclass
+class TxnOutcome:
+    """What the application sees when a transaction finishes."""
+
+    txn_id: TxnId
+    committed: bool
+    results: dict[GroupId, Any]
+    latency: float
+    retries: int = 0
+
+
+@dataclass
+class _PendingTxn:
+    txn: IndependentTransaction
+    callback: Callable[[TxnOutcome], None]
+    start_time: float
+    quorums: dict[GroupId, ViewConsistentQuorum]
+    satisfied: dict[GroupId, Any] = field(default_factory=dict)
+    timer: Optional[Timer] = None
+    retries: int = 0
+
+
+class ErisClient(Node):
+    """Submits independent transactions and tracks quorum replies."""
+
+    def __init__(self, address: Address, network: Network,
+                 shard_sizes: dict[GroupId, int],
+                 retry_timeout: float = 1e-3,
+                 max_retries: int = 100):
+        super().__init__(address, network)
+        self.shard_sizes = dict(shard_sizes)
+        self.retry_timeout = retry_timeout
+        self.max_retries = max_retries
+        self._seq = 0
+        self._pending: dict[TxnId, _PendingTxn] = {}
+        self._recon_pending: dict[Any, list[Callable[[Any, Any], None]]] = {}
+        self.committed_count = 0
+        self.aborted_count = 0
+        self.retry_count = 0
+
+    # -- submission --------------------------------------------------------
+    def next_txn_id(self) -> TxnId:
+        self._seq += 1
+        return TxnId(client=self.address, seq=self._seq)
+
+    def submit(
+        self,
+        proc: str,
+        args: dict,
+        participants: tuple[GroupId, ...],
+        callback: Callable[[TxnOutcome], None],
+        read_keys: frozenset = frozenset(),
+        write_keys: frozenset = frozenset(),
+        kind: str = "independent",
+        txn_id: Optional[TxnId] = None,
+    ) -> TxnId:
+        """Fire one independent transaction; ``callback`` runs when a
+        view-consistent quorum from every participant arrives."""
+        txn = IndependentTransaction(
+            txn_id=txn_id or self.next_txn_id(),
+            proc=proc,
+            args=args,
+            participants=tuple(participants),
+            read_keys=read_keys,
+            write_keys=write_keys,
+            kind=kind,
+        )
+        pending = _PendingTxn(
+            txn=txn,
+            callback=callback,
+            start_time=self.loop.now,
+            quorums={shard: ViewConsistentQuorum(self.shard_sizes[shard])
+                     for shard in txn.participants},
+        )
+        pending.timer = self.timer(self.retry_timeout, self._retry, txn.txn_id)
+        pending.timer.start()
+        self._pending[txn.txn_id] = pending
+        self._transmit(txn)
+        return txn.txn_id
+
+    def _transmit(self, txn: IndependentTransaction) -> None:
+        self.send_groupcast(txn.participants, IndependentTxnRequest(txn))
+
+    def _retry(self, txn_id: TxnId) -> None:
+        pending = self._pending.get(txn_id)
+        if pending is None:
+            return
+        pending.retries += 1
+        self.retry_count += 1
+        if pending.retries > self.max_retries:
+            del self._pending[txn_id]
+            outcome = TxnOutcome(txn_id=txn_id, committed=False, results={},
+                                 latency=self.loop.now - pending.start_time,
+                                 retries=pending.retries)
+            pending.callback(outcome)
+            return
+        self._transmit(pending.txn)
+        pending.timer.start()
+
+    # -- replies ----------------------------------------------------------
+    def on_TxnReply(self, src: Address, msg: TxnReply, packet: Packet) -> None:
+        pending = self._pending.get(msg.txn_id)
+        if pending is None or msg.shard in pending.satisfied:
+            return
+        quorum = pending.quorums.get(msg.shard)
+        if quorum is None:
+            return
+        key = (msg.epoch_num, msg.view_num, msg.txn_index)
+        quorum.add(key, msg.replica_index, msg.is_dl,
+                   payload=(msg.committed, msg.result))
+        satisfied_key = quorum.satisfied()
+        if satisfied_key is None:
+            return
+        pending.satisfied[msg.shard] = quorum.dl_payload(satisfied_key)
+        if len(pending.satisfied) == len(pending.txn.participants):
+            self._complete(pending)
+
+    def _complete(self, pending: _PendingTxn) -> None:
+        del self._pending[pending.txn.txn_id]
+        if pending.timer is not None:
+            pending.timer.stop()
+        # Independent transactions reach the same deterministic decision
+        # on every participant; mixed votes cannot happen for them. For
+        # preliminary transactions the client aggregates the per-shard
+        # validation votes itself.
+        committed = all(ok for ok, _ in pending.satisfied.values())
+        if committed:
+            self.committed_count += 1
+        else:
+            self.aborted_count += 1
+        outcome = TxnOutcome(
+            txn_id=pending.txn.txn_id,
+            committed=committed,
+            results={shard: result
+                     for shard, (_, result) in pending.satisfied.items()},
+            latency=self.loop.now - pending.start_time,
+            retries=pending.retries,
+        )
+        pending.callback(outcome)
+
+    # -- reconnaissance reads (§7.1) ------------------------------------------
+    def recon(self, replica: Address, key: Any,
+              callback: Callable[[Any, Any], None]) -> None:
+        """Non-transactional read of ``key`` from ``replica``;
+        ``callback(key, value)`` fires on the reply."""
+        self._recon_pending.setdefault(key, []).append(callback)
+        self.send(replica, ReconRead(key=key))
+
+    def on_ReconReply(self, src: Address, msg: ReconReply,
+                      packet: Packet) -> None:
+        waiters = self._recon_pending.pop(msg.key, [])
+        for callback in waiters:
+            callback(msg.key, msg.value)
+
+    # -- introspection ------------------------------------------------------
+    @property
+    def inflight(self) -> int:
+        return len(self._pending)

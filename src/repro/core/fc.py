@@ -1,0 +1,332 @@
+"""The Failure Coordinator (§6.3, §6.5).
+
+The FC is the off-normal-path service that makes two kinds of global
+decisions:
+
+- **Drop agreement** — on a FIND-TXN it broadcasts TXN-REQUEST to every
+  replica of every shard and waits for either one HAS-TXN (the
+  transaction survives: TXN-FOUND to all participants) or a
+  view-consistent quorum of TEMP-DROPPED-TXN promises from *every*
+  shard (the slot is permanently dropped: TXN-DROPPED to everyone).
+  Decisions are remembered forever: a HAS-TXN arriving after a drop
+  decision is answered with the drop (§6.3 step 4).
+
+- **Epoch change** — it collects state-plus-promise from a majority of
+  every shard, rebuilds each shard's log (highest view; longest log;
+  cross-shard completion so no shard knows a transaction that a
+  participant's new log omits; previously-dropped slots as NO-OPs), and
+  retransmits START-EPOCH until a majority of each shard acks.
+
+The paper replicates the FC "using standard means"; because it is only
+ever touched on failure paths, we run it as one logically centralized
+service node (see DESIGN.md) and focus testing on the recovery logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.log import LogEntry
+from repro.core.messages import (
+    EpochChangeReq,
+    EpochState,
+    EpochStateRequest,
+    FindTxn,
+    HasTxn,
+    StartEpoch,
+    StartEpochAck,
+    TempDroppedTxn,
+    TxnDropped,
+    TxnFound,
+    TxnRecord,
+    TxnRequestMsg,
+)
+from repro.core.quorum import ViewConsistentQuorum
+from repro.core.transaction import SlotId
+from repro.net.endpoint import Node
+from repro.net.message import Address, GroupId, Packet
+from repro.net.network import Network
+
+
+@dataclass
+class _FindState:
+    slot: SlotId
+    quorums: dict[GroupId, ViewConsistentQuorum]
+    requesters: set[Address] = field(default_factory=set)
+    timer: object = None
+
+
+@dataclass
+class _EpochChange:
+    new_epoch: int
+    responses: dict[GroupId, dict[Address, EpochState]] = \
+        field(default_factory=dict)
+    started: bool = False
+    start_msgs: dict[GroupId, StartEpoch] = field(default_factory=dict)
+    acks: dict[GroupId, set[Address]] = field(default_factory=dict)
+    timer: object = None
+
+
+class FailureCoordinator(Node):
+    """Coordinates packet-drop agreement and epoch changes."""
+
+    def __init__(self, address: Address, network: Network,
+                 shards: dict[GroupId, list[Address]],
+                 retry_timeout: float = 10e-3):
+        super().__init__(address, network)
+        self.shards = {shard: list(addrs) for shard, addrs in shards.items()}
+        self.retry_timeout = retry_timeout
+        self.found: dict[SlotId, TxnRecord] = {}
+        self.dropped: set[SlotId] = set()
+        self._finds: dict[SlotId, _FindState] = {}
+        self._epoch_changes: dict[int, _EpochChange] = {}
+        self.max_epoch_started = 1
+        self.drops_decided = 0
+        self.finds_resolved = 0
+        self.epoch_changes_completed = 0
+
+    # -- helpers ----------------------------------------------------------
+    def _all_replicas(self) -> list[Address]:
+        return [addr for addrs in self.shards.values() for addr in addrs]
+
+    def _participants_of(self, record: TxnRecord) -> list[Address]:
+        out = []
+        for gid in record.multistamp.groups:
+            out.extend(self.shards.get(gid, []))
+        return out
+
+    # -- drop agreement (§6.3) -------------------------------------------------
+    def on_FindTxn(self, src: Address, msg: FindTxn, packet: Packet) -> None:
+        slot = msg.slot
+        if slot in self.dropped:
+            self.send(src, TxnDropped(slot=slot))
+            return
+        if slot in self.found:
+            self.send(src, TxnFound(slot=slot, record=self.found[slot]))
+            return
+        state = self._finds.get(slot)
+        if state is not None:
+            state.requesters.add(src)
+            return
+        state = _FindState(
+            slot=slot,
+            quorums={shard: ViewConsistentQuorum(len(addrs))
+                     for shard, addrs in self.shards.items()},
+            requesters={src},
+        )
+        self._finds[slot] = state
+        self._broadcast_txn_request(slot)
+        state.timer = self.timer(self.retry_timeout,
+                                 self._retry_find, slot)
+        state.timer.start()
+
+    def _broadcast_txn_request(self, slot: SlotId) -> None:
+        for addr in self._all_replicas():
+            self.send(addr, TxnRequestMsg(slot=slot))
+
+    def _retry_find(self, slot: SlotId) -> None:
+        state = self._finds.get(slot)
+        if state is None:
+            return
+        self._broadcast_txn_request(slot)
+        state.timer.start()
+
+    def on_HasTxn(self, src: Address, msg: HasTxn, packet: Packet) -> None:
+        slot = msg.slot
+        if slot in self.dropped:
+            # Drop decisions are final (§6.3 step 4): a late HAS-TXN
+            # cannot resurrect the transaction.
+            self.send(src, TxnDropped(slot=slot))
+            return
+        if slot not in self.found:
+            self.found[slot] = msg.record
+            self.finds_resolved += 1
+        self._finish_find(slot, TxnFound(slot=slot, record=self.found[slot]),
+                          self._participants_of(self.found[slot]))
+
+    def on_TempDroppedTxn(self, src: Address, msg: TempDroppedTxn,
+                          packet: Packet) -> None:
+        slot = msg.slot
+        if slot in self.dropped:
+            self.send(src, TxnDropped(slot=slot))
+            return
+        if slot in self.found:
+            self.send(src, TxnFound(slot=slot, record=self.found[slot]))
+            return
+        state = self._finds.get(slot)
+        if state is None:
+            return
+        quorum = state.quorums.get(msg.shard)
+        if quorum is None:
+            return
+        quorum.add((msg.epoch_num, msg.view_num), msg.replica_index,
+                   msg.is_dl)
+        if all(q.satisfied() is not None for q in state.quorums.values()):
+            self.dropped.add(slot)
+            self.drops_decided += 1
+            self._finish_find(slot, TxnDropped(slot=slot),
+                              self._all_replicas())
+
+    def _finish_find(self, slot: SlotId, decision, recipients) -> None:
+        state = self._finds.pop(slot, None)
+        extra = state.requesters if state is not None else set()
+        if state is not None and state.timer is not None:
+            state.timer.stop()
+        for addr in set(recipients) | extra:
+            self.send(addr, decision)
+
+    # -- epoch change (§6.5) --------------------------------------------------
+    def on_EpochChangeReq(self, src: Address, msg: EpochChangeReq,
+                          packet: Packet) -> None:
+        self._begin_epoch_change(msg.new_epoch)
+
+    def _begin_epoch_change(self, new_epoch: int) -> None:
+        if new_epoch <= self.max_epoch_started:
+            # Already completed (or superseded); retransmit START-EPOCH
+            # if we have it so slow replicas converge.
+            change = self._epoch_changes.get(new_epoch)
+            if change is not None and change.started:
+                self._retransmit_start_epoch(new_epoch)
+            return
+        if new_epoch in self._epoch_changes:
+            return
+        change = _EpochChange(new_epoch=new_epoch)
+        self._epoch_changes[new_epoch] = change
+        self._broadcast_state_request(new_epoch)
+        change.timer = self.timer(self.retry_timeout,
+                                  self._retry_epoch_change, new_epoch)
+        change.timer.start()
+
+    def _broadcast_state_request(self, new_epoch: int) -> None:
+        for addr in self._all_replicas():
+            self.send(addr, EpochStateRequest(new_epoch=new_epoch))
+
+    def _retry_epoch_change(self, new_epoch: int) -> None:
+        change = self._epoch_changes.get(new_epoch)
+        if change is None:
+            return
+        if change.started:
+            self._retransmit_start_epoch(new_epoch)
+        else:
+            self._broadcast_state_request(new_epoch)
+        change.timer.start()
+
+    def on_EpochState(self, src: Address, msg: EpochState,
+                      packet: Packet) -> None:
+        change = self._epoch_changes.get(msg.new_epoch)
+        if change is None or change.started:
+            return
+        change.responses.setdefault(msg.shard, {})[msg.sender] = msg
+        if self._epoch_quorum_complete(change):
+            self._start_epoch(change)
+
+    def _epoch_quorum_complete(self, change: _EpochChange) -> bool:
+        for shard, addrs in self.shards.items():
+            responses = change.responses.get(shard, {})
+            if len(responses) < len(addrs) // 2 + 1:
+                return False
+        return True
+
+    def _start_epoch(self, change: _EpochChange) -> None:
+        """Rebuild every shard's state for the new epoch (§6.5)."""
+        change.started = True
+        self.max_epoch_started = max(self.max_epoch_started, change.new_epoch)
+        # Cross-shard knowledge: every transaction any replica logged,
+        # indexed by each participant's (epoch, seq) slot via its stamp.
+        known: dict[SlotId, TxnRecord] = {}
+        all_perm_drops: set[SlotId] = set()
+        for responses in change.responses.values():
+            for state in responses.values():
+                all_perm_drops.update(state.perm_drops)
+                for entry in state.log:
+                    if entry.kind != "txn":
+                        continue
+                    stamp = entry.record.multistamp
+                    for gid, seq in stamp.stamps:
+                        known.setdefault(SlotId(gid, stamp.epoch, seq),
+                                         entry.record)
+        all_perm_drops.update(self.dropped)
+        for shard, addrs in self.shards.items():
+            responses = change.responses.get(shard, {})
+            freshest = max(s.last_normal_epoch for s in responses.values())
+            fresh = [s for s in responses.values()
+                     if s.last_normal_epoch == freshest]
+            view = max(s.view_num for s in fresh)
+            base = max((list(s.log) for s in fresh), key=len, default=[])
+            new_log = self._complete_log(shard, base, freshest, known,
+                                         frozenset(all_perm_drops))
+            start = StartEpoch(shard=shard, new_epoch=change.new_epoch,
+                               view_num=view, log=tuple(new_log))
+            change.start_msgs[shard] = start
+            change.acks[shard] = set()
+            for addr in addrs:
+                self.send(addr, start)
+        self.epoch_changes_completed += 1
+
+    def _complete_log(self, shard: GroupId, base: list[LogEntry],
+                      epoch: int, known: dict[SlotId, TxnRecord],
+                      perm_drops: frozenset) -> list[LogEntry]:
+        """Extend the longest log with transactions other shards know
+        about, NO-OP the unrecoverable gaps, and apply drop decisions."""
+        out: list[LogEntry] = []
+        for entry in base:
+            if entry.kind == "txn" and self._entry_dropped(entry, perm_drops):
+                entry = entry.as_noop()
+            out.append(entry)
+        last_seq = 0
+        for entry in reversed(out):
+            if entry.slot.epoch == epoch:
+                last_seq = entry.slot.seq
+                break
+        target = last_seq
+        for slot in known:
+            if slot.shard == shard and slot.epoch == epoch:
+                target = max(target, slot.seq)
+        for seq in range(last_seq + 1, target + 1):
+            slot = SlotId(shard, epoch, seq)
+            record = known.get(slot)
+            if record is not None and slot not in perm_drops and \
+                    not self._record_dropped(record, perm_drops):
+                out.append(LogEntry(index=len(out) + 1, slot=slot,
+                                    kind="txn", record=record))
+            else:
+                out.append(LogEntry(index=len(out) + 1, slot=slot,
+                                    kind="noop", record=None))
+        return [LogEntry(index=i + 1, slot=e.slot, kind=e.kind,
+                         record=e.record) for i, e in enumerate(out)]
+
+    @staticmethod
+    def _entry_dropped(entry: LogEntry, perm_drops: frozenset) -> bool:
+        stamp = entry.record.multistamp
+        return any(SlotId(gid, stamp.epoch, seq) in perm_drops
+                   for gid, seq in stamp.stamps)
+
+    @staticmethod
+    def _record_dropped(record: TxnRecord, perm_drops: frozenset) -> bool:
+        stamp = record.multistamp
+        return any(SlotId(gid, stamp.epoch, seq) in perm_drops
+                   for gid, seq in stamp.stamps)
+
+    def _retransmit_start_epoch(self, new_epoch: int) -> None:
+        change = self._epoch_changes.get(new_epoch)
+        if change is None or not change.started:
+            return
+        for shard, start in change.start_msgs.items():
+            pending = [a for a in self.shards[shard]
+                       if a not in change.acks.get(shard, set())]
+            for addr in pending:
+                self.send(addr, start)
+
+    def on_StartEpochAck(self, src: Address, msg: StartEpochAck,
+                         packet: Packet) -> None:
+        change = self._epoch_changes.get(msg.new_epoch)
+        if change is None or not change.started:
+            return
+        change.acks.setdefault(msg.shard, set()).add(src)
+        done = all(
+            len(change.acks.get(shard, ())) >= len(addrs) // 2 + 1
+            for shard, addrs in self.shards.items()
+        )
+        if done and change.timer is not None:
+            change.timer.stop()

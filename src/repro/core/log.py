@@ -1,0 +1,164 @@
+"""The Eris replica log.
+
+Slots are filled strictly in sequence order: log position *i* within an
+epoch holds either the transaction the sequencer assigned that shard's
+sequence number to, or a NO-OP for a permanently dropped slot. The log
+therefore never has holes — drop recovery completes (with a recovered
+transaction or a NO-OP) before later slots are appended.
+
+Entries also record the multi-stamp, so a replica can answer
+TXN-REQUESTs for *other shards'* slots (§5.3's second multi-stamp
+purpose): a transaction logged here under our sequence number carries
+the sequence numbers of every other participant too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.core.messages import TxnRecord
+from repro.core.transaction import SlotId
+from repro.net.message import GroupId
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One slot. ``record.txn is None`` never happens for kind='txn';
+    NO-OP entries keep the slot identity but no transaction."""
+
+    index: int          # 1-based position in this replica's log
+    slot: SlotId        # (shard, epoch, shard-sequence-number)
+    kind: str           # "txn" | "noop"
+    record: Optional[TxnRecord]
+
+    @property
+    def is_noop(self) -> bool:
+        return self.kind == "noop"
+
+    def as_noop(self) -> "LogEntry":
+        return LogEntry(index=self.index, slot=self.slot, kind="noop",
+                        record=None)
+
+
+class ErisLog:
+    """Append-only, gapless log for one shard replica."""
+
+    def __init__(self, shard: GroupId):
+        self.shard = shard
+        self._entries: list[LogEntry] = []
+        # O(1) lookups for the recovery protocols: own-slot entries and
+        # every (group, epoch, seq) the entries' multi-stamps mention.
+        self._slot_index: dict[SlotId, LogEntry] = {}
+        self._stamp_index: dict[SlotId, LogEntry] = {}
+
+    def _index(self, entry: LogEntry) -> None:
+        self._slot_index[entry.slot] = entry
+        if entry.record is not None:
+            stamp = entry.record.multistamp
+            for gid, seq in stamp.stamps:
+                self._stamp_index[SlotId(gid, stamp.epoch, seq)] = entry
+
+    def append_txn(self, slot: SlotId, record: TxnRecord) -> LogEntry:
+        entry = LogEntry(index=len(self._entries) + 1, slot=slot,
+                         kind="txn", record=record)
+        self._entries.append(entry)
+        self._index(entry)
+        return entry
+
+    def append_noop(self, slot: SlotId) -> LogEntry:
+        entry = LogEntry(index=len(self._entries) + 1, slot=slot,
+                         kind="noop", record=None)
+        self._entries.append(entry)
+        self._index(entry)
+        return entry
+
+    def get(self, index: int) -> Optional[LogEntry]:
+        if 1 <= index <= len(self._entries):
+            return self._entries[index - 1]
+        return None
+
+    def find_slot(self, slot: SlotId) -> Optional[LogEntry]:
+        """Entry whose own slot matches (this shard's sequence space)."""
+        return self._slot_index.get(slot)
+
+    def find_stamped(self, slot: SlotId) -> Optional[LogEntry]:
+        """Entry whose *multi-stamp* covers ``slot`` — answers foreign
+        shards' TXN-REQUESTs."""
+        entry = self._stamp_index.get(slot)
+        if entry is not None and entry.record is not None:
+            return entry
+        return None
+
+    def entries(self, start_index: int = 1) -> list[LogEntry]:
+        return self._entries[start_index - 1:]
+
+    def replace(self, entries: list[LogEntry]) -> None:
+        """Adopt a merged log (view change / epoch change). Re-indexes
+        defensively so positions are always 1..n."""
+        self._entries = [
+            LogEntry(index=i + 1, slot=e.slot, kind=e.kind, record=e.record)
+            for i, e in enumerate(entries)
+        ]
+        self._slot_index.clear()
+        self._stamp_index.clear()
+        for entry in self._entries:
+            self._index(entry)
+
+    def overwrite_noop(self, index: int) -> None:
+        """Replace the entry at ``index`` with a NO-OP (perm-drop during
+        view-change merge)."""
+        entry = self._entries[index - 1]
+        noop = entry.as_noop()
+        self._entries[index - 1] = noop
+        self._slot_index[noop.slot] = noop
+
+    @property
+    def last_index(self) -> int:
+        return len(self._entries)
+
+    def last_seq(self, epoch: int) -> int:
+        """Highest own-shard sequence number logged for ``epoch``."""
+        for entry in reversed(self._entries):
+            if entry.slot.epoch == epoch:
+                return entry.slot.seq
+        return 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[LogEntry]:
+        return iter(self._entries)
+
+
+def merge_logs(logs: list[tuple], perm_drops: frozenset) -> list[LogEntry]:
+    """View-change merge (§6.4): take the longest log received, then
+    overwrite any transaction matching a perm-dropped slot with NO-OP.
+
+    ``logs`` holds tuples of LogEntry as shipped in VIEW-CHANGE
+    messages. Logs within one epoch are prefix-consistent except for
+    txn-vs-NO-OP divergence at slots the FC dropped, which the
+    perm-drop overwrite resolves.
+    """
+    longest: tuple = ()
+    for log in logs:
+        if len(log) > len(longest):
+            longest = log
+    merged: list[LogEntry] = []
+    for i, entry in enumerate(longest):
+        if entry.kind == "txn" and _stamp_hits(entry, perm_drops):
+            entry = entry.as_noop()
+        merged.append(LogEntry(index=i + 1, slot=entry.slot,
+                               kind=entry.kind, record=entry.record))
+    return merged
+
+
+def _stamp_hits(entry: LogEntry, slots: frozenset) -> bool:
+    """Does this entry's multi-stamp match any of ``slots``? Checked
+    against every (group, seq) pair because a drop decided for one
+    participant's slot drops the transaction everywhere."""
+    if entry.record is None:
+        return entry.slot in slots
+    stamp = entry.record.multistamp
+    return any(SlotId(gid, stamp.epoch, seq) in slots
+               for gid, seq in stamp.stamps)

@@ -1,0 +1,240 @@
+"""Wire messages of the Eris protocol (Sections 6.2–6.6).
+
+Message names follow the paper: REPLY, FIND-TXN, TXN-REQUEST, HAS-TXN,
+TEMP-DROPPED-TXN, TXN-FOUND, TXN-DROPPED, VIEW-CHANGE, START-VIEW,
+EPOCH-CHANGE-REQ, START-EPOCH, plus the synchronization messages of
+§6.6 and the intra-shard peer-recovery optimization of §6.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.core.transaction import IndependentTransaction, SlotId, TxnId
+from repro.net.message import Address, GroupId, MultiStamp
+
+
+# -- normal case (§6.2) --------------------------------------------------
+
+@dataclass(frozen=True)
+class IndependentTxnRequest:
+    """Client → shards, via multi-sequenced groupcast."""
+
+    txn: IndependentTransaction
+
+
+@dataclass(frozen=True)
+class TxnReply:
+    """Replica → client. Only the DL carries an execution result."""
+
+    txn_id: TxnId
+    txn_index: int
+    view_num: int
+    epoch_num: int
+    shard: GroupId
+    replica_index: int
+    is_dl: bool
+    committed: bool = True
+    result: Any = None
+
+
+# -- drop recovery (§6.3) ----------------------------------------------
+
+@dataclass(frozen=True)
+class PeerTxnRequest:
+    """Replica → same-shard peers: do you have my missing message?"""
+
+    slot: SlotId
+    sender: Address
+
+
+@dataclass(frozen=True)
+class PeerTxnResponse:
+    """Positive answers carry the logged transaction and its stamp;
+    ``entry=None`` means 'I do not have it either'. ``dropped`` reports
+    that this peer already knows the slot was permanently dropped."""
+
+    slot: SlotId
+    entry: Optional["TxnRecord"]
+    sender: Address
+    dropped: bool = False
+
+
+@dataclass(frozen=True)
+class TxnRecord:
+    """A transaction plus the multi-stamp it was sequenced with —
+    enough for any other node to slot it into its own log."""
+
+    txn: Optional[IndependentTransaction]
+    multistamp: MultiStamp
+
+
+@dataclass(frozen=True)
+class FindTxn:
+    """Replica → FC: recover (or drop) the message at ``slot``."""
+
+    slot: SlotId
+    sender: Address
+
+
+@dataclass(frozen=True)
+class TxnRequestMsg:
+    """FC → all replicas of all shards."""
+
+    slot: SlotId
+
+
+@dataclass(frozen=True)
+class HasTxn:
+    """Replica → FC: here is the transaction matching the slot."""
+
+    slot: SlotId
+    record: TxnRecord
+    sender: Address
+
+
+@dataclass(frozen=True)
+class TempDroppedTxn:
+    """Replica → FC: a drop promise; the replica cedes the slot's fate
+    to the FC."""
+
+    slot: SlotId
+    shard: GroupId
+    view_num: int
+    epoch_num: int
+    sender: Address
+    replica_index: int
+    is_dl: bool
+
+
+@dataclass(frozen=True)
+class TxnFound:
+    """FC → participants: the transaction was recovered."""
+
+    slot: SlotId
+    record: TxnRecord
+
+
+@dataclass(frozen=True)
+class TxnDropped:
+    """FC → all replicas: the slot is permanently dropped."""
+
+    slot: SlotId
+
+
+# -- view change (§6.4) ----------------------------------------------
+
+@dataclass(frozen=True)
+class ViewChange:
+    """Replica → prospective DL of ``new_view``."""
+
+    shard: GroupId
+    new_view: int
+    epoch_num: int
+    log: tuple            # tuple[LogEntry-as-record, ...]
+    temp_drops: frozenset
+    perm_drops: frozenset
+    un_drops: frozenset
+    sender: Address
+
+
+@dataclass(frozen=True)
+class StartView:
+    """New DL → shard replicas: adopt this state."""
+
+    shard: GroupId
+    view_num: int
+    epoch_num: int
+    log: tuple
+    temp_drops: frozenset
+    perm_drops: frozenset
+    un_drops: frozenset
+
+
+# -- epoch change (§6.5) ----------------------------------------------
+
+@dataclass(frozen=True)
+class EpochChangeReq:
+    """Replica → FC: a NEW-EPOCH notification arrived."""
+
+    shard: GroupId
+    new_epoch: int
+    sender: Address
+
+
+@dataclass(frozen=True)
+class EpochStateRequest:
+    """FC → all replicas: send state, promise to reject older epochs."""
+
+    new_epoch: int
+
+
+@dataclass(frozen=True)
+class EpochState:
+    """Replica → FC: current state plus the promise."""
+
+    shard: GroupId
+    new_epoch: int
+    last_normal_epoch: int
+    view_num: int
+    log: tuple
+    perm_drops: frozenset
+    sender: Address
+
+
+@dataclass(frozen=True)
+class StartEpoch:
+    """FC → replicas of one shard: the shard's state in the new epoch."""
+
+    shard: GroupId
+    new_epoch: int
+    view_num: int
+    log: tuple
+
+
+@dataclass(frozen=True)
+class StartEpochAck:
+    shard: GroupId
+    new_epoch: int
+    sender: Address
+
+
+# -- reconnaissance queries (§7.1) ---------------------------------------
+
+@dataclass(frozen=True)
+class ReconRead:
+    """Client → replica: single-message, non-transactional read used to
+    discover the read/write sets of state-dependent transactions."""
+
+    key: Any
+
+
+@dataclass(frozen=True)
+class ReconReply:
+    key: Any
+    value: Any
+
+
+# -- synchronization (§6.6) ---------------------------------------------
+
+@dataclass(frozen=True)
+class SyncLog:
+    """DL → replica: log suffix plus the safe-to-execute point. Doubles
+    as the DL liveness heartbeat."""
+
+    shard: GroupId
+    view_num: int
+    epoch_num: int
+    from_index: int       # 1-based index of entries[0] in the DL's log
+    entries: tuple
+    commit_upto: int
+
+
+@dataclass(frozen=True)
+class SyncAck:
+    shard: GroupId
+    view_num: int
+    epoch_num: int
+    log_len: int
+    sender: Address

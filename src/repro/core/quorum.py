@@ -1,0 +1,54 @@
+"""View-consistent quorum tracking (§6.2).
+
+A *view-consistent quorum* for a shard is a majority of its replicas
+whose responses match on a key — for client replies the key is
+(epoch-num, view-num, txn-index) — **including the Designated Learner
+of that view**. The same machinery checks the FC's TEMP-DROPPED-TXN
+quorums (§6.3, keyed on (epoch-num, view-num)).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Optional
+
+
+class ViewConsistentQuorum:
+    """Counts matching responses for one shard until a quorum forms."""
+
+    def __init__(self, n_replicas: int):
+        self.n_replicas = n_replicas
+        self._responses: dict[Hashable, dict[int, Any]] = {}
+
+    @property
+    def majority(self) -> int:
+        return self.n_replicas // 2 + 1
+
+    def add(self, key: Hashable, replica_index: int, is_dl: bool,
+            payload: Any = None) -> None:
+        """Record one replica's response under a match key. ``is_dl``
+        responses are tracked so quorums without the DL never satisfy."""
+        group = self._responses.setdefault(key, {})
+        group[replica_index] = (is_dl, payload)
+
+    def satisfied(self) -> Optional[Hashable]:
+        """The first key with a majority including the DL, else None."""
+        for key, group in self._responses.items():
+            if len(group) >= self.majority and any(
+                is_dl for is_dl, _ in group.values()
+            ):
+                return key
+        return None
+
+    def payloads(self, key: Hashable) -> dict[int, Any]:
+        """replica_index → payload for responses matching ``key``."""
+        return {idx: payload
+                for idx, (_, payload) in self._responses.get(key, {}).items()}
+
+    def dl_payload(self, key: Hashable) -> Any:
+        for is_dl, payload in self._responses.get(key, {}).values():
+            if is_dl:
+                return payload
+        return None
+
+    def clear(self) -> None:
+        self._responses.clear()

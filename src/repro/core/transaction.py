@@ -1,0 +1,78 @@
+"""Transaction identities and the independent-transaction record.
+
+An *independent transaction* (§4.1) is a one-shot stored procedure
+executed atomically on a set of participant shards, with no cross-shard
+data dependencies and a deterministic local commit/abort decision. It
+is the unit the Eris protocol sequences and the building block general
+transactions are made from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from repro.net.message import GroupId
+
+
+@dataclass(frozen=True, order=True)
+class TxnId:
+    """At-most-once identity: (client address, client sequence number)."""
+
+    client: str
+    seq: int
+
+
+@dataclass(frozen=True, order=True)
+class SlotId:
+    """The paper's txn-id triple used by the FC protocol: the position
+    a message was assigned in one shard's sequence space."""
+
+    shard: GroupId
+    epoch: int
+    seq: int
+
+
+@dataclass(frozen=True)
+class IndependentTransaction:
+    """A one-shot stored-procedure invocation across ``participants``.
+
+    ``read_keys``/``write_keys`` are the (globally keyed) declared
+    access sets; each shard filters them by ownership. They are used
+    only when the general-transaction layer has locks outstanding —
+    pure independent-transaction workloads never consult them.
+
+    ``kind`` distinguishes ordinary independent transactions from the
+    preliminary/conclusory halves of general transactions (§7.1).
+    """
+
+    txn_id: TxnId
+    proc: str
+    args: dict
+    participants: tuple[GroupId, ...]
+    read_keys: frozenset = frozenset()
+    write_keys: frozenset = frozenset()
+    kind: str = "independent"  # independent | preliminary | conclusory
+
+    def __post_init__(self) -> None:
+        if not self.participants:
+            raise ValueError("transaction must have at least one participant")
+        if len(set(self.participants)) != len(self.participants):
+            raise ValueError(f"duplicate participants: {self.participants}")
+
+    @property
+    def is_distributed(self) -> bool:
+        return len(self.participants) > 1
+
+    def keys_on(self, owns) -> tuple[frozenset, frozenset]:
+        """(read, write) keys this shard owns, per the partition
+        predicate ``owns``."""
+        reads = frozenset(k for k in self.read_keys if owns(k))
+        writes = frozenset(k for k in self.write_keys if owns(k))
+        return reads, writes
+
+
+def make_txn_key(keys) -> frozenset:
+    """Normalize an iterable of keys into a frozenset (helper for
+    workload generators)."""
+    return frozenset(keys)

@@ -1,0 +1,49 @@
+"""Exception hierarchy for the repro package.
+
+All library-specific failures derive from :class:`ReproError` so callers
+can catch everything from one root, while still distinguishing protocol
+aborts (expected control flow, e.g. an OCC validation failure) from
+programming errors (malformed configuration, unknown procedure names).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Root of the library's exception hierarchy."""
+
+
+class ConfigurationError(ReproError):
+    """A cluster, workload, or experiment was configured inconsistently."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was driven incorrectly."""
+
+
+class NetworkError(ReproError):
+    """Invalid use of the simulated network fabric."""
+
+
+class UnknownProcedureError(ReproError):
+    """A stored procedure name was not found in the registry."""
+
+
+class TransactionAborted(ReproError):
+    """A transaction was aborted; carries the abort reason.
+
+    This is expected control flow for optimistic/locking protocols and
+    for application-initiated aborts, not a bug.
+    """
+
+    def __init__(self, reason: str = "aborted"):
+        super().__init__(reason)
+        self.reason = reason
+
+
+class LockConflict(TransactionAborted):
+    """A lock request was denied under an abort-on-conflict policy."""
+
+
+class InvariantViolation(ReproError):
+    """A correctness checker found a violated protocol invariant."""

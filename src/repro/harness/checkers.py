@@ -1,0 +1,131 @@
+"""Correctness checkers for Eris executions (§6.7 invariants).
+
+These operate on a finished cluster's replica state:
+
+- **serializability** — build the cross-shard precedence graph over
+  transactions from each shard's committed log order; strict
+  serializability requires it be acyclic (checked with networkx). This
+  is the executable counterpart of the paper's second §6.7 invariant.
+- **atomicity** — a transaction committed at any participant appears in
+  the log of *every* participant shard.
+- **replica consistency** — within each shard, all replicas' logs are
+  prefix-consistent and executed stores converge after a drain.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.core.replica import ErisReplica
+from repro.core.transaction import TxnId
+from repro.errors import InvariantViolation
+from repro.harness.cluster import Cluster
+
+
+def _live_dl(shard: int, replicas) -> ErisReplica:
+    """The live replica that is DL in the *highest* view among live
+    replicas — a crashed old DL may still believe it leads its view."""
+    live = [r for r in replicas
+            if isinstance(r, ErisReplica) and not r.crashed]
+    if not live:
+        raise InvariantViolation(f"shard {shard} has no live replicas")
+    top_view = max(r.view_num for r in live)
+    for replica in live:
+        if replica.view_num == top_view and replica.is_dl:
+            return replica
+    raise InvariantViolation(f"shard {shard} has no live DL")
+
+
+def _shard_txn_orders(cluster: Cluster) -> dict[int, list[TxnId]]:
+    """Per shard, the txn-ids in the DL's log order (NO-OPs skipped).
+
+    A retried transaction can occupy two slots (the client's retry gets
+    a fresh stamp; execution suppresses the duplicate via the
+    at-most-once table) — only the first occurrence is the
+    serialization point, so later duplicates are dropped here.
+    """
+    orders: dict[int, list[TxnId]] = {}
+    for shard, replicas in cluster.replicas.items():
+        dl = _live_dl(shard, replicas)
+        seen: set[TxnId] = set()
+        order: list[TxnId] = []
+        for entry in dl.log:
+            if entry.kind != "txn":
+                continue
+            txn_id = entry.record.txn.txn_id
+            if txn_id in seen:
+                continue
+            seen.add(txn_id)
+            order.append(txn_id)
+        orders[shard] = order
+    return orders
+
+
+def check_serializability(cluster: Cluster) -> None:
+    """Raise :class:`InvariantViolation` if the cross-shard precedence
+    graph has a cycle."""
+    orders = _shard_txn_orders(cluster)
+    graph = nx.DiGraph()
+    for order in orders.values():
+        for earlier, later in zip(order, order[1:]):
+            # Consecutive edges suffice: shard order is total, so the
+            # transitive closure covers all same-shard pairs.
+            graph.add_edge(earlier, later)
+    try:
+        cycle = nx.find_cycle(graph)
+    except nx.NetworkXNoCycle:
+        return
+    raise InvariantViolation(
+        f"precedence cycle across shards: {cycle[:10]}")
+
+
+def check_atomicity(cluster: Cluster) -> None:
+    """Every logged transaction appears at every participant shard."""
+    orders = _shard_txn_orders(cluster)
+    logged: dict[int, set[TxnId]] = {shard: set(order)
+                                     for shard, order in orders.items()}
+    for shard, replicas in cluster.replicas.items():
+        dl = _live_dl(shard, replicas)
+        for entry in dl.log:
+            if entry.kind != "txn":
+                continue
+            txn = entry.record.txn
+            for participant in txn.participants:
+                if participant not in logged:
+                    continue
+                if txn.txn_id not in logged[participant]:
+                    raise InvariantViolation(
+                        f"txn {txn.txn_id} logged at shard {shard} but "
+                        f"missing at participant shard {participant}")
+
+
+def check_replica_consistency(cluster: Cluster) -> None:
+    """Within each shard: logs are prefix-consistent; stores of fully
+    caught-up replicas match the DL's."""
+    for shard, replicas in cluster.replicas.items():
+        eris = [r for r in replicas if isinstance(r, ErisReplica)
+                and not r.crashed]
+        if not eris:
+            continue
+        dl = _live_dl(shard, replicas)
+        reference = dl.log.entries()
+        for replica in eris:
+            for mine, ref in zip(replica.log.entries(), reference):
+                if (mine.slot, mine.kind) != (ref.slot, ref.kind):
+                    raise InvariantViolation(
+                        f"log divergence in shard {shard} at index "
+                        f"{mine.index}: {replica.address} has "
+                        f"{(mine.slot, mine.kind)}, DL has "
+                        f"{(ref.slot, ref.kind)}")
+            if len(replica._fed) == len(reference) and \
+                    replica.store.snapshot() != dl.store.snapshot():
+                raise InvariantViolation(
+                    f"store divergence in shard {shard}: "
+                    f"{replica.address} executed the full log but its "
+                    f"state differs from the DL's")
+
+
+def run_all_checks(cluster: Cluster) -> None:
+    check_serializability(cluster)
+    check_atomicity(cluster)
+    check_replica_consistency(cluster)

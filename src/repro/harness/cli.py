@@ -1,0 +1,130 @@
+"""Command-line experiment runner.
+
+Runs one measurement — any system, any YCSB+T workload or TPC-C — and
+prints (optionally CSV-exports) the result, so parameter sweeps can be
+scripted without writing Python::
+
+    python -m repro.harness.cli --system eris --workload mrmw \
+        --distributed 0.2 --zipf 0.9 --shards 3 --clients 200
+    python -m repro.harness.cli --system lockstore --workload tpcc
+    python -m repro.harness.cli --list-systems
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.harness.cluster import SYSTEMS, ClusterConfig, build_cluster
+from repro.harness.experiment import ExperimentConfig, run_experiment
+from repro.harness.results import format_table, write_csv
+from repro.net.network import NetConfig
+from repro.sim.randomness import SplitRandom
+from repro.store import ProcedureRegistry
+from repro.workloads import (
+    Partitioner,
+    YCSBConfig,
+    YCSBWorkload,
+    register_ycsb_procedures,
+)
+from repro.workloads.tpcc import (
+    TPCCConfig,
+    TPCCWorkload,
+    load_tpcc,
+    register_tpcc_procedures,
+    tpcc_partitioner,
+)
+from repro.workloads.tpcc.schema import TPCCScale
+from repro.workloads.ycsb import load_ycsb
+
+WORKLOADS = ("srw", "mrmw", "crmw", "tpcc")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.harness.cli",
+        description="Run one Eris-reproduction measurement.")
+    parser.add_argument("--system", choices=SYSTEMS, default="eris")
+    parser.add_argument("--workload", choices=WORKLOADS, default="srw")
+    parser.add_argument("--shards", type=int, default=3)
+    parser.add_argument("--replicas", type=int, default=3)
+    parser.add_argument("--clients", type=int, default=100)
+    parser.add_argument("--keys", type=int, default=2000,
+                        help="YCSB key-space size")
+    parser.add_argument("--distributed", type=float, default=0.0,
+                        help="fraction of multi-shard txns (mrmw/crmw)")
+    parser.add_argument("--zipf", type=float, default=0.0,
+                        help="Zipf exponent for key access")
+    parser.add_argument("--warehouses", type=int, default=6,
+                        help="TPC-C warehouses")
+    parser.add_argument("--remote", type=float, default=0.10,
+                        help="TPC-C remote fraction")
+    parser.add_argument("--drop-rate", type=float, default=0.0)
+    parser.add_argument("--warmup", type=float, default=4e-3,
+                        help="simulated seconds before measurement")
+    parser.add_argument("--duration", type=float, default=10e-3,
+                        help="simulated measurement window")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--csv", metavar="PATH",
+                        help="append the result as a CSV row")
+    parser.add_argument("--list-systems", action="store_true")
+    return parser
+
+
+def run(args: argparse.Namespace):
+    config = ClusterConfig(system=args.system, n_shards=args.shards,
+                           n_replicas=args.replicas, seed=args.seed,
+                           net=NetConfig(drop_rate=args.drop_rate))
+    registry = ProcedureRegistry()
+    count_filter = None
+    if args.workload == "tpcc":
+        register_tpcc_procedures(registry)
+        scale = TPCCScale(n_warehouses=args.warehouses)
+        partitioner = tpcc_partitioner(args.shards)
+        cluster = build_cluster(
+            config, registry, partitioner,
+            loader=lambda stores, p: load_tpcc(stores, p, scale))
+        workload = TPCCWorkload(
+            TPCCConfig(scale=scale, remote_fraction=args.remote),
+            partitioner, SplitRandom(args.seed + 1))
+        count_filter = lambda op: op.proc == "tpcc_new_order"  # noqa: E731
+    else:
+        register_ycsb_procedures(registry)
+        partitioner = Partitioner(args.shards)
+        cluster = build_cluster(
+            config, registry, partitioner,
+            loader=lambda stores, p: load_ycsb(stores, p, args.keys))
+        workload = YCSBWorkload(
+            YCSBConfig(workload=args.workload, n_keys=args.keys,
+                       distributed_fraction=args.distributed,
+                       zipf_theta=args.zipf),
+            partitioner, SplitRandom(args.seed + 1))
+    result = run_experiment(cluster, workload, ExperimentConfig(
+        n_clients=args.clients, warmup=args.warmup,
+        duration=args.duration, count_filter=count_filter))
+    return cluster, result
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_systems:
+        print("\n".join(SYSTEMS))
+        return 0
+    _, result = run(args)
+    headers = ["system", "workload", "shards", "clients", "txn/s",
+               "mean_us", "p99_us", "committed", "aborted", "retries"]
+    row = [args.system, args.workload, args.shards, args.clients,
+           round(result.throughput), round(result.mean_latency * 1e6, 1),
+           round(result.p99_latency * 1e6, 1), result.committed,
+           result.aborted, result.retries]
+    print(format_table(headers, [row]))
+    if args.csv:
+        write_csv(args.csv, headers, [row], append=True)
+        print(f"appended to {args.csv}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

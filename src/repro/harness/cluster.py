@@ -1,0 +1,360 @@
+"""Cluster construction for every system under evaluation.
+
+``build_cluster(config, registry, loader)`` assembles the simulated
+deployment — network, sequencers + SDN controller + FC (Eris), VR
+groups (Granola/Lock-Store), bare replicas (TAPIR), single nodes
+(NT-UR) — and returns a :class:`Cluster` whose ``make_client`` yields a
+uniform submit interface, so the experiment driver and benchmarks are
+system-agnostic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.baselines.common import DoneFn, OpResult, WorkloadOp
+from repro.baselines.granola import GranolaClient, GranolaReplica
+from repro.baselines.lockstore import LockStoreClient, LockStoreReplica
+from repro.baselines.ntur import NTURClient, NTURServer
+from repro.baselines.tapir import TapirClient, TapirReplica
+from repro.core.client import ErisClient
+from repro.core.fc import FailureCoordinator
+from repro.core.general import GeneralTransactionManager
+from repro.core.replica import ErisConfig, ErisReplica
+from repro.errors import ConfigurationError
+from repro.net.controller import ControllerConfig, SDNController
+from repro.net.network import NetConfig, Network
+from repro.net.oum import OUMSequencer
+from repro.net.sequencer import MultiSequencer, SequencerProfile
+from repro.replication.vr import VRConfig
+from repro.sim.event_loop import EventLoop
+from repro.sim.randomness import SplitRandom
+from repro.store.kv import KVStore
+from repro.store.procedures import ProcedureRegistry
+from repro.workloads.partition import Partitioner
+
+SYSTEMS = ("eris", "eris-oum", "granola", "tapir", "lockstore", "ntur")
+
+_PROFILES = {
+    "in-switch": SequencerProfile.in_switch,
+    "middlebox": SequencerProfile.middlebox,
+    "endhost": SequencerProfile.endhost,
+}
+
+
+@dataclass
+class ClusterConfig:
+    """Deployment shape and cost model for one experiment."""
+
+    system: str = "eris"
+    n_shards: int = 3
+    n_replicas: int = 3
+    seed: int = 42
+    net: NetConfig = field(default_factory=NetConfig)
+    sequencer_profile: str = "middlebox"
+    n_sequencers: int = 2              # primary + standbys (Eris)
+    server_service_time: float = 2e-6  # CPU per received message
+    execution_cost: float = 0.5e-6     # CPU per executed transaction
+    client_retry_timeout: float = 2e-3
+    #: Ablation: one-phase commit for single-shard Lock-Store txns
+    #: (the paper's Lock-Store always runs the full 2PC exchange).
+    lockstore_one_phase: bool = False
+    eris: ErisConfig = field(default_factory=ErisConfig)
+    controller: ControllerConfig = field(default_factory=ControllerConfig)
+    vr: VRConfig = field(default_factory=VRConfig)
+
+    def validate(self) -> None:
+        if self.system not in SYSTEMS:
+            raise ConfigurationError(
+                f"unknown system {self.system!r}; pick one of {SYSTEMS}")
+        if self.n_shards < 1 or self.n_replicas < 1:
+            raise ConfigurationError("need >= 1 shard and >= 1 replica")
+        if self.sequencer_profile not in _PROFILES:
+            raise ConfigurationError(
+                f"unknown sequencer profile {self.sequencer_profile!r}")
+
+
+class SystemClient:
+    """Uniform client: ``submit(op, done)`` regardless of system."""
+
+    def __init__(self, submit_fn: Callable[[WorkloadOp, DoneFn], None],
+                 node):
+        self._submit = submit_fn
+        self.node = node
+
+    def submit(self, op: WorkloadOp, done: DoneFn) -> None:
+        self._submit(op, done)
+
+
+class Cluster:
+    """One fully wired deployment of one system."""
+
+    def __init__(self, config: ClusterConfig, registry: ProcedureRegistry,
+                 partitioner: Partitioner):
+        config.validate()
+        self.config = config
+        self.registry = registry
+        self.partitioner = partitioner
+        self.loop = EventLoop()
+        self.rng = SplitRandom(config.seed)
+        self.network = Network(self.loop, config.net, self.rng)
+        self.stores: dict[int, list[KVStore]] = {}
+        self.replicas: dict[int, list] = {}
+        self.sequencers: list[MultiSequencer] = []
+        self.controller: Optional[SDNController] = None
+        self.fc: Optional[FailureCoordinator] = None
+        self._clients: list[SystemClient] = []
+        self._client_counter = 0
+
+    # -- store access (used by loaders and checkers) -----------------------
+    def shard_stores(self, shard: int) -> list[KVStore]:
+        return self.stores[shard]
+
+    def authoritative_store(self, shard: int) -> KVStore:
+        """The store that reflects all executed transactions: the DL /
+        leader / single node of ``shard``."""
+        if self.config.system == "eris" or self.config.system == "eris-oum":
+            for replica in self.replicas[shard]:
+                if replica.is_dl:
+                    return replica.store
+        return self.stores[shard][0]
+
+    # -- client creation ----------------------------------------------------
+    def make_client(self, name: Optional[str] = None) -> SystemClient:
+        self._client_counter += 1
+        address = name or f"client-{self._client_counter}"
+        client = self._build_client(address)
+        self._clients.append(client)
+        return client
+
+    def _build_client(self, address: str) -> SystemClient:
+        raise ConfigurationError("cluster not built; use build_cluster()")
+
+    # -- fault injection hooks ---------------------------------------------
+    def set_drop_rate(self, rate: float) -> None:
+        self.network.config.drop_rate = rate
+
+    def crash_active_sequencer(self) -> None:
+        if self.controller is None:
+            raise ConfigurationError("no controller in this deployment")
+        self.network.endpoint(self.controller.active_address).crash()
+
+    def crash_replica(self, shard: int, index: int) -> None:
+        self.replicas[shard][index].crash()
+
+
+def build_cluster(config: ClusterConfig, registry: ProcedureRegistry,
+                  partitioner: Partitioner,
+                  loader: Optional[Callable[[dict[int, list[KVStore]],
+                                             Partitioner], None]] = None
+                  ) -> Cluster:
+    """Assemble the deployment for ``config.system`` and load data."""
+    cluster = Cluster(config, registry, partitioner)
+    builder = _BUILDERS[config.system]
+    builder(cluster)
+    if loader is not None:
+        loader(cluster.stores, partitioner)
+    return cluster
+
+
+# -- per-system wiring ----------------------------------------------------
+
+def _make_stores(cluster: Cluster, per_shard: int) -> None:
+    for shard in range(cluster.config.n_shards):
+        cluster.stores[shard] = [KVStore() for _ in range(per_shard)]
+
+
+def _build_eris(cluster: Cluster, oum: bool = False) -> None:
+    config = cluster.config
+    _make_stores(cluster, config.n_replicas)
+    shard_addrs = {
+        shard: [f"eris-r{shard}.{i}" for i in range(config.n_replicas)]
+        for shard in range(config.n_shards)
+    }
+    for shard, addrs in shard_addrs.items():
+        cluster.network.groups.define(shard, addrs)
+    profile = _PROFILES[config.sequencer_profile]()
+    sequencer_cls = OUMSequencer if oum else MultiSequencer
+    for i in range(max(1, config.n_sequencers)):
+        cluster.sequencers.append(
+            sequencer_cls(f"seq{i}", cluster.network, profile))
+    cluster.fc = FailureCoordinator("fc", cluster.network,
+                                    shards=shard_addrs)
+    cluster.fc.msg_service_time = config.server_service_time
+    if oum:
+        cluster.network.install_sequencer_route("seq0")
+    else:
+        cluster.controller = SDNController(
+            "controller", cluster.network,
+            sequencers=[s.address for s in cluster.sequencers],
+            config=config.controller)
+        cluster.controller.start()
+    eris_config = config.eris
+    eris_config.execution_cost = config.execution_cost
+    eris_config.oum_mode = oum
+    for shard, addrs in shard_addrs.items():
+        replicas = []
+        for index, address in enumerate(addrs):
+            replica = ErisReplica(
+                address, cluster.network, shard, index, addrs, "fc",
+                cluster.stores[shard][index], cluster.registry,
+                owns=cluster.partitioner.owns_fn(shard),
+                config=eris_config,
+            )
+            replica.msg_service_time = config.server_service_time
+            replicas.append(replica)
+        cluster.replicas[shard] = replicas
+
+    shard_sizes = {shard: config.n_replicas
+                   for shard in range(config.n_shards)}
+
+    def build_client(address: str) -> SystemClient:
+        node = ErisClient(address, cluster.network, shard_sizes,
+                          retry_timeout=config.client_retry_timeout)
+        general = GeneralTransactionManager(node)
+
+        def submit(op: WorkloadOp, done: DoneFn) -> None:
+            if op.is_general:
+                general.execute(
+                    op.read_keys, op.write_keys, op.participants,
+                    op.compute or (lambda values: {}),
+                    lambda outcome: done(OpResult(
+                        committed=outcome.committed,
+                        latency=outcome.latency)),
+                )
+            else:
+                node.submit(
+                    op.proc, op.args, op.participants,
+                    lambda outcome: done(OpResult(
+                        committed=outcome.committed,
+                        latency=outcome.latency,
+                        result=outcome.results,
+                        retries=outcome.retries)),
+                    read_keys=op.read_keys,
+                    write_keys=op.write_keys,
+                )
+
+        return SystemClient(submit, node)
+
+    cluster._build_client = build_client
+
+
+def _build_eris_oum(cluster: Cluster) -> None:
+    _build_eris(cluster, oum=True)
+
+
+def _build_lockstore(cluster: Cluster) -> None:
+    config = cluster.config
+    _make_stores(cluster, config.n_replicas)
+    leaders: dict[int, str] = {}
+    for shard in range(config.n_shards):
+        group = [f"ls-r{shard}.{i}" for i in range(config.n_replicas)]
+        leaders[shard] = group[0]
+        replicas = []
+        for index, address in enumerate(group):
+            replica = LockStoreReplica(
+                address, cluster.network, shard, group, index,
+                cluster.stores[shard][index], cluster.registry,
+                owns=cluster.partitioner.owns_fn(shard),
+                execution_cost=config.execution_cost,
+                vr_config=config.vr,
+            )
+            replica.msg_service_time = config.server_service_time
+            replicas.append(replica)
+        cluster.replicas[shard] = replicas
+
+    def build_client(address: str) -> SystemClient:
+        node = LockStoreClient(address, cluster.network, leaders,
+                               retry_timeout=config.client_retry_timeout,
+                               one_phase=config.lockstore_one_phase)
+        return SystemClient(node.submit, node)
+
+    cluster._build_client = build_client
+
+
+def _build_tapir(cluster: Cluster) -> None:
+    config = cluster.config
+    _make_stores(cluster, config.n_replicas)
+    shard_replicas: dict[int, list[str]] = {}
+    for shard in range(config.n_shards):
+        group = [f"tapir-r{shard}.{i}" for i in range(config.n_replicas)]
+        shard_replicas[shard] = group
+        replicas = []
+        for index, address in enumerate(group):
+            replica = TapirReplica(
+                address, cluster.network, shard, index,
+                cluster.stores[shard][index], cluster.registry,
+                owns=cluster.partitioner.owns_fn(shard),
+                execution_cost=config.execution_cost,
+            )
+            replica.msg_service_time = config.server_service_time
+            replicas.append(replica)
+        cluster.replicas[shard] = replicas
+
+    def build_client(address: str) -> SystemClient:
+        node = TapirClient(address, cluster.network, shard_replicas,
+                           retry_timeout=config.client_retry_timeout)
+        return SystemClient(node.submit, node)
+
+    cluster._build_client = build_client
+
+
+def _build_granola(cluster: Cluster) -> None:
+    config = cluster.config
+    _make_stores(cluster, config.n_replicas)
+    groups = {shard: [f"gr-r{shard}.{i}" for i in range(config.n_replicas)]
+              for shard in range(config.n_shards)}
+    leaders = {shard: group[0] for shard, group in groups.items()}
+    for shard, group in groups.items():
+        replicas = []
+        for index, address in enumerate(group):
+            replica = GranolaReplica(
+                address, cluster.network, shard, group, index,
+                cluster.stores[shard][index], cluster.registry,
+                peer_leaders=leaders,
+                owns=cluster.partitioner.owns_fn(shard),
+                execution_cost=config.execution_cost,
+                vr_config=config.vr,
+            )
+            replica.msg_service_time = config.server_service_time
+            replicas.append(replica)
+        cluster.replicas[shard] = replicas
+
+    def build_client(address: str) -> SystemClient:
+        node = GranolaClient(address, cluster.network, leaders,
+                             retry_timeout=config.client_retry_timeout)
+        return SystemClient(node.submit, node)
+
+    cluster._build_client = build_client
+
+
+def _build_ntur(cluster: Cluster) -> None:
+    config = cluster.config
+    _make_stores(cluster, 1)
+    servers: dict[int, str] = {}
+    for shard in range(config.n_shards):
+        address = f"ntur-{shard}"
+        servers[shard] = address
+        server = NTURServer(address, cluster.network, shard,
+                            cluster.stores[shard][0], cluster.registry,
+                            owns=cluster.partitioner.owns_fn(shard),
+                            execution_cost=config.execution_cost)
+        server.msg_service_time = config.server_service_time
+        cluster.replicas[shard] = [server]
+
+    def build_client(address: str) -> SystemClient:
+        node = NTURClient(address, cluster.network, servers)
+        return SystemClient(node.submit, node)
+
+    cluster._build_client = build_client
+
+
+_BUILDERS = {
+    "eris": _build_eris,
+    "eris-oum": _build_eris_oum,
+    "lockstore": _build_lockstore,
+    "tapir": _build_tapir,
+    "granola": _build_granola,
+    "ntur": _build_ntur,
+}

@@ -1,0 +1,67 @@
+"""Plain-text result tables for benchmark output.
+
+Benchmarks print the same rows/series the paper's tables and figures
+report, alongside the paper's reference values, so EXPERIMENTS.md can
+record paper-vs-measured without extra tooling.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: str = "") -> str:
+    """Monospace table with right-aligned numeric columns."""
+    rendered = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i])
+                           for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(cell.rjust(widths[i]) if _numericish(cell)
+                               else cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.3g}"
+    return str(value)
+
+
+def _numericish(cell: str) -> bool:
+    stripped = cell.replace(",", "").replace(".", "").replace("-", "") \
+        .replace("x", "").replace("%", "")
+    return stripped.isdigit()
+
+
+def write_csv(path: str, headers: Sequence[str], rows: Sequence[Sequence],
+              append: bool = False) -> None:
+    """Write (or append) rows as CSV; the header is emitted only when
+    creating the file, so sweeps can accumulate into one file."""
+    import csv
+    import os
+    fresh = not (append and os.path.exists(path))
+    mode = "a" if append else "w"
+    with open(path, mode, newline="") as handle:
+        writer = csv.writer(handle)
+        if fresh:
+            writer.writerow(headers)
+        writer.writerows(rows)
+
+
+def speedup(numerator: float, denominator: float) -> str:
+    """'3.6x'-style ratio, guarding division by zero."""
+    if denominator <= 0:
+        return "inf"
+    return f"{numerator / denominator:.2f}x"

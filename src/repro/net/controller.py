@@ -1,0 +1,137 @@
+"""SDN controller: groupcast routing and sequencer failover (§5.3–5.4).
+
+The controller owns the groupcast forwarding rules. It health-checks
+the active sequencer with periodic pings; after ``failure_threshold``
+consecutive missed pongs it declares the sequencer dead, withdraws the
+route (sequenced traffic black-holes, as in the real network), selects
+the next standby, installs a strictly higher epoch number into it, and
+— after a configurable ``reroute_delay`` modelling rule re-installation
+across the fabric — re-points the groupcast route.
+
+The paper replicates the controller "using standard means"; here it is
+a single simulation object whose failover actions are what the Eris
+epoch-change protocol observes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.net.endpoint import Node
+from repro.net.message import Address, Packet
+from repro.net.network import Network
+from repro.net.sequencer import MultiSequencer
+
+
+@dataclass(frozen=True)
+class SequencerPing:
+    nonce: int
+
+
+@dataclass(frozen=True)
+class SequencerPong:
+    nonce: int
+
+
+# Teach sequencers to answer pings (kept here so the data-plane module
+# stays free of control-plane message types).
+def _on_ping(self: MultiSequencer, src: Address, msg: SequencerPing,
+             packet: Packet) -> None:
+    self.send(src, SequencerPong(msg.nonce))
+
+
+MultiSequencer.on_SequencerPing = _on_ping
+
+
+@dataclass
+class ControllerConfig:
+    ping_interval: float = 10e-3
+    failure_threshold: int = 3
+    reroute_delay: float = 80e-3
+
+
+class SDNController(Node):
+    """Monitors the active sequencer and fails over to standbys."""
+
+    def __init__(self, address: str, network: Network,
+                 sequencers: list[Address],
+                 config: Optional[ControllerConfig] = None):
+        super().__init__(address, network)
+        if not sequencers:
+            raise ConfigurationError("need at least one sequencer")
+        self.config = config or ControllerConfig()
+        self.sequencers = list(sequencers)
+        self.active_index = 0
+        self.current_epoch = 1
+        self.failovers = 0
+        self._missed = 0
+        self._nonce = 0
+        self._awaiting: Optional[int] = None
+        self._failing_over = False
+        self._ping_timer = self.periodic(self.config.ping_interval,
+                                         self._ping)
+
+    # -- lifecycle -------------------------------------------------------
+    def start(self) -> None:
+        """Install the initial route and begin health checking."""
+        seq = self._active_sequencer()
+        seq.install_epoch(self.current_epoch)
+        self.network.install_sequencer_route(seq.address)
+        self._ping_timer.start()
+
+    def stop(self) -> None:
+        self._ping_timer.stop()
+
+    @property
+    def active_address(self) -> Address:
+        return self.sequencers[self.active_index]
+
+    def _active_sequencer(self) -> MultiSequencer:
+        return self.network.endpoint(self.active_address)
+
+    # -- health checking ----------------------------------------------------
+    def _ping(self) -> None:
+        if self._failing_over:
+            return
+        if self._awaiting is not None:
+            self._missed += 1
+            if self._missed >= self.config.failure_threshold:
+                self._begin_failover()
+                return
+        self._nonce += 1
+        self._awaiting = self._nonce
+        self.send(self.active_address, SequencerPing(self._nonce))
+
+    def on_SequencerPong(self, src: Address, msg: SequencerPong,
+                         packet: Packet) -> None:
+        if msg.nonce == self._awaiting:
+            self._awaiting = None
+            self._missed = 0
+
+    # -- failover ----------------------------------------------------------
+    def _begin_failover(self) -> None:
+        """Withdraw the route, pick the next standby, re-route later."""
+        self._failing_over = True
+        self._awaiting = None
+        self._missed = 0
+        self.network.install_sequencer_route(None)
+        next_index = (self.active_index + 1) % len(self.sequencers)
+        self.loop.schedule(self.config.reroute_delay,
+                           self._complete_failover, next_index)
+
+    def _complete_failover(self, next_index: int) -> None:
+        self.active_index = next_index
+        self.current_epoch += 1
+        replacement = self._active_sequencer()
+        replacement.install_epoch(self.current_epoch)
+        self.network.install_sequencer_route(replacement.address)
+        self.failovers += 1
+        self._failing_over = False
+
+    def force_failover(self) -> None:
+        """Immediately begin failover (used by tests/benchmarks that do
+        not want to wait out the detection timeout)."""
+        if not self._failing_over:
+            self._begin_failover()

@@ -1,0 +1,149 @@
+"""The ``Node`` base class: message dispatch plus a CPU model.
+
+Every protocol participant (replica, client, sequencer, FC, controller)
+is a ``Node``. Two things live here:
+
+**Dispatch.** Incoming payloads are routed to ``on_<ClassName>``
+methods, e.g. an ``IndependentTxnRequest`` payload invokes
+``on_IndependentTxnRequest(src, msg, packet)``. Unhandled types raise,
+so protocol omissions fail loudly.
+
+**CPU model.** A node serializes message processing: each message
+occupies the (single-core) server for ``service_time_for(packet)``
+seconds, and handlers can charge extra execution time with
+:meth:`Node.busy`. Arrivals during a busy period queue. This is what
+makes servers saturate, which in turn is what makes throughput
+comparisons between protocols meaningful: a protocol that makes each
+server process more messages per transaction gets a proportionally
+lower ceiling, exactly the effect the paper measures.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Optional
+
+from repro.errors import NetworkError
+from repro.net.message import Address, GroupcastHeader, Packet
+from repro.net.network import Network
+from repro.sim.process import PeriodicTimer, Timer
+
+
+class Node:
+    """Base class for all simulated endpoints."""
+
+    #: Default per-message processing cost (seconds). Subclasses and
+    #: cluster builders override this to model faster/slower servers.
+    msg_service_time: float = 0.0
+
+    def __init__(self, address: Address, network: Network):
+        self.address = address
+        self.network = network
+        self.loop = network.loop
+        self._busy_until = 0.0
+        self._inbox: deque[Packet] = deque()
+        self._drain_pending = False
+        self.messages_processed = 0
+        self.crashed = False
+        network.register(self)
+
+    # -- sending -----------------------------------------------------------
+    def send(self, dst: Address, message: Any) -> None:
+        """Unicast a protocol message."""
+        if self.crashed:
+            return
+        self.network.send(Packet(src=self.address, dst=dst, payload=message))
+
+    def send_groupcast(self, groups: tuple[int, ...], message: Any,
+                       sequenced: bool = True) -> None:
+        """Groupcast a message to a set of groups (§5.2).
+
+        With ``sequenced=True`` the packet is routed through the
+        installed sequencer and arrives multi-stamped.
+        """
+        if self.crashed:
+            return
+        self.network.send(
+            Packet(
+                src=self.address,
+                dst=None,
+                payload=message,
+                groupcast=GroupcastHeader(tuple(groups)),
+                sequenced=sequenced,
+            )
+        )
+
+    # -- timers --------------------------------------------------------------
+    def timer(self, delay: float, fn, *args) -> Timer:
+        return Timer(self.loop, delay, fn, *args)
+
+    def periodic(self, period: float, fn, *args) -> PeriodicTimer:
+        return PeriodicTimer(self.loop, period, fn, *args)
+
+    # -- CPU model -----------------------------------------------------------
+    def service_time_for(self, packet: Packet) -> float:
+        """Per-message processing cost; override for message-dependent
+        costs."""
+        return self.msg_service_time
+
+    def busy(self, duration: float) -> None:
+        """Charge extra CPU time (e.g. transaction execution)."""
+        if duration <= 0.0:
+            return
+        base = max(self._busy_until, self.loop.now)
+        self._busy_until = base + duration
+
+    # -- delivery ------------------------------------------------------------
+    def deliver(self, packet: Packet) -> None:
+        """Called by the network on arrival; applies the CPU model.
+
+        Arrivals enter a FIFO inbox drained one message at a time; each
+        occupies the server for its service time plus whatever extra
+        the handler charged via :meth:`busy`, so a long execution
+        genuinely delays everything queued behind it.
+        """
+        if self.crashed:
+            return
+        self._inbox.append(packet)
+        self._drain_inbox()
+
+    def _drain_inbox(self) -> None:
+        while not self._drain_pending and self._inbox and not self.crashed:
+            start = max(self._busy_until, self.loop.now)
+            finish = start + self.service_time_for(self._inbox[0])
+            self._busy_until = finish
+            if finish <= self.loop.now:
+                self._process(self._inbox.popleft())
+                continue
+            self._drain_pending = True
+            self.loop.schedule_at(finish, self._drain_one)
+
+    def _drain_one(self) -> None:
+        self._drain_pending = False
+        if self._inbox and not self.crashed:
+            self._process(self._inbox.popleft())
+        self._drain_inbox()
+
+    def _process(self, packet: Packet) -> None:
+        if self.crashed:
+            return
+        self.messages_processed += 1
+        self.handle(packet.src, packet.payload, packet)
+
+    def handle(self, src: Address, message: Any, packet: Packet) -> None:
+        """Dispatch to ``on_<ClassName>``; override for custom routing."""
+        handler = getattr(self, "on_" + type(message).__name__, None)
+        if handler is None:
+            raise NetworkError(
+                f"{type(self).__name__} {self.address!r} has no handler for "
+                f"{type(message).__name__}"
+            )
+        handler(src, message, packet)
+
+    # -- failure injection -----------------------------------------------------
+    def crash(self) -> None:
+        """Fail-stop: drop all future deliveries and sends."""
+        self.crashed = True
+
+    def recover_address(self) -> None:  # pragma: no cover - used by demos
+        self.crashed = False

@@ -1,0 +1,82 @@
+"""Packets and the in-network headers from Section 5.
+
+A :class:`Packet` is what the fabric moves between endpoints. Its
+``payload`` is an application-level protocol message (an Eris REPLY, a
+2PC PREPARE, ...). Groupcast packets additionally carry a
+:class:`GroupcastHeader` naming their destination groups, and — once
+they have passed through the sequencer — a :class:`MultiStamp`.
+
+A multi-stamp is the paper's key idea (§5.3): a set of
+``(group-id, sequence-num)`` pairs, one per destination group, plus the
+sequencer's epoch number. A receiver in group *g* looks only at its own
+pair to enforce ordering and detect drops, but the full stamp lets any
+node answer "do you have the packet that was assigned sequence *n* for
+group *g*?" during failure recovery.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+Address = str
+GroupId = int
+
+_packet_ids = itertools.count()
+
+
+@dataclass(frozen=True)
+class GroupcastHeader:
+    """The header between IP and UDP naming the destination groups."""
+
+    groups: tuple[GroupId, ...]
+
+    def __post_init__(self) -> None:
+        if len(set(self.groups)) != len(self.groups):
+            raise ValueError(f"duplicate destination groups: {self.groups}")
+
+
+@dataclass(frozen=True)
+class MultiStamp:
+    """Epoch number plus one sequence number per destination group."""
+
+    epoch: int
+    stamps: tuple[tuple[GroupId, int], ...]
+
+    def seq_for(self, group: GroupId) -> int:
+        for gid, seq in self.stamps:
+            if gid == group:
+                return seq
+        raise KeyError(f"group {group} not in multi-stamp {self.stamps}")
+
+    def has_group(self, group: GroupId) -> bool:
+        return any(gid == group for gid, _ in self.stamps)
+
+    @property
+    def groups(self) -> tuple[GroupId, ...]:
+        return tuple(gid for gid, _ in self.stamps)
+
+
+@dataclass
+class Packet:
+    """One message in flight. Copied (shallowly) at fan-out points."""
+
+    src: Address
+    dst: Optional[Address]
+    payload: Any
+    groupcast: Optional[GroupcastHeader] = None
+    multistamp: Optional[MultiStamp] = None
+    sequenced: bool = False
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+
+    def copy_to(self, dst: Address) -> "Packet":
+        """A per-recipient copy sharing payload and stamp."""
+        return Packet(
+            src=self.src,
+            dst=dst,
+            payload=self.payload,
+            groupcast=self.groupcast,
+            multistamp=self.multistamp,
+            sequenced=self.sequenced,
+        )

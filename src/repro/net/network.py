@@ -1,0 +1,163 @@
+"""The simulated fabric.
+
+The network delivers :class:`~repro.net.message.Packet` objects between
+registered endpoints with sampled one-way latency and an optional drop
+probability (used by the Figure 13 experiment). Sequenced groupcast
+packets are routed through the currently installed sequencer — exactly
+the behaviour the SDN rules create in the paper — and the sequencer
+re-emits stamped per-recipient copies.
+
+Latency is sampled independently per packet, so the fabric naturally
+reorders messages under jitter; that is intentional, since tolerating
+reordering is precisely what multi-sequencing provides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.errors import NetworkError
+from repro.net.groupcast import GroupMembership
+from repro.net.message import Address, Packet
+from repro.sim.event_loop import EventLoop
+from repro.sim.randomness import SplitRandom
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.endpoint import Node
+
+
+@dataclass
+class NetConfig:
+    """Fabric parameters. Times are seconds (microsecond scale)."""
+
+    base_latency: float = 10e-6      # one-way propagation + switching
+    jitter: float = 2e-6             # uniform extra delay in [0, jitter]
+    drop_rate: float = 0.0           # per-hop independent drop probability
+    #: Deliver in FIFO order per (src, dst) pair — packets between two
+    #: endpoints follow one path in a datacenter, so they rarely
+    #: reorder; loss, not reordering, is the dominant anomaly. Set
+    #: False to stress the protocols with arbitrary reordering.
+    fifo_links: bool = True
+
+    def validate(self) -> None:
+        if self.base_latency < 0 or self.jitter < 0:
+            raise NetworkError("latencies must be non-negative")
+        if not 0.0 <= self.drop_rate < 1.0:
+            raise NetworkError(f"drop_rate must be in [0, 1): {self.drop_rate}")
+
+
+class Network:
+    """Registry of endpoints plus the delivery engine."""
+
+    def __init__(self, loop: EventLoop, config: Optional[NetConfig] = None,
+                 rng: Optional[SplitRandom] = None):
+        config = config or NetConfig()
+        config.validate()
+        self.loop = loop
+        self.config = config
+        self.rng = (rng or SplitRandom(0)).split("network")
+        self.groups = GroupMembership()
+        self._endpoints: dict[Address, "Node"] = {}
+        self.sequencer_address: Optional[Address] = None
+        self._link_clock: dict[tuple[Address, Address], float] = {}
+        # Counters for tests and for sanity checks in benchmarks.
+        self.packets_sent = 0
+        self.packets_dropped = 0
+        self.packets_delivered = 0
+        # Addresses exempt from random drops (e.g. the FC control plane
+        # when an experiment only wants to stress the data path).
+        self.lossless: set[Address] = set()
+        #: Deterministic drop hook for tests: packets for which this
+        #: returns True are silently discarded.
+        self.drop_filter: Optional[Callable[[Packet], bool]] = None
+
+    # -- registration ----------------------------------------------------
+    def register(self, node: "Node") -> None:
+        if node.address in self._endpoints:
+            raise NetworkError(f"duplicate endpoint address {node.address!r}")
+        self._endpoints[node.address] = node
+
+    def unregister(self, address: Address) -> None:
+        self._endpoints.pop(address, None)
+
+    def endpoint(self, address: Address) -> "Node":
+        try:
+            return self._endpoints[address]
+        except KeyError:
+            raise NetworkError(f"unknown endpoint {address!r}") from None
+
+    def has_endpoint(self, address: Address) -> bool:
+        return address in self._endpoints
+
+    # -- routing control (exercised by the SDN controller) ---------------
+    def install_sequencer_route(self, address: Optional[Address]) -> None:
+        """Point the groupcast route at a sequencer (None = black hole).
+
+        While no route is installed — e.g. during sequencer failover —
+        sequenced groupcast traffic is silently lost, as in a real
+        network between failure and rule re-installation.
+        """
+        self.sequencer_address = address
+
+    # -- sending ----------------------------------------------------------
+    def send(self, packet: Packet) -> None:
+        """Inject a packet. Unicast goes to ``packet.dst``; groupcast
+        fans out (via the sequencer when ``packet.sequenced``)."""
+        self.packets_sent += 1
+        if packet.groupcast is not None and packet.multistamp is None:
+            self._route_groupcast(packet)
+        else:
+            if packet.dst is None:
+                raise NetworkError("unicast packet without destination")
+            self._transmit(packet)
+
+    def fan_out(self, packet: Packet, destinations: tuple[Address, ...]) -> None:
+        """Deliver per-recipient copies (used by sequencers)."""
+        for dst in destinations:
+            self._transmit(packet.copy_to(dst))
+
+    # -- internals ----------------------------------------------------------
+    def _route_groupcast(self, packet: Packet) -> None:
+        if not packet.sequenced:
+            # Plain (unsequenced) groupcast: direct fan-out to members.
+            for group in packet.groupcast.groups:
+                self.fan_out(packet, self.groups.members(group))
+            return
+        if self.sequencer_address is None or not self.has_endpoint(
+            self.sequencer_address
+        ):
+            self.packets_dropped += 1
+            return
+        self._transmit(packet.copy_to(self.sequencer_address))
+
+    def _transmit(self, packet: Packet) -> None:
+        if packet.dst not in self._endpoints:
+            # Destination crashed / deregistered: packet is lost.
+            self.packets_dropped += 1
+            return
+        if self.drop_filter is not None and self.drop_filter(packet):
+            self.packets_dropped += 1
+            return
+        if self.config.drop_rate > 0.0 and packet.dst not in self.lossless \
+                and packet.src not in self.lossless:
+            if self.rng.random() < self.config.drop_rate:
+                self.packets_dropped += 1
+                return
+        latency = self.config.base_latency
+        if self.config.jitter > 0.0:
+            latency += self.rng.uniform(0.0, self.config.jitter)
+        arrival = self.loop.now + latency
+        if self.config.fifo_links:
+            link = (packet.src, packet.dst)
+            arrival = max(arrival, self._link_clock.get(link, 0.0) + 1e-9)
+            self._link_clock[link] = arrival
+        self.loop.schedule_at(arrival, self._arrive, packet)
+
+    def _arrive(self, packet: Packet) -> None:
+        node = self._endpoints.get(packet.dst)
+        if node is None:
+            self.packets_dropped += 1
+            return
+        self.packets_delivered += 1
+        node.deliver(packet)

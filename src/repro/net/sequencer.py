@@ -1,0 +1,120 @@
+"""The multi-stamping sequencer (§5.3–5.4).
+
+One sequencer is designated for the system at a time. Every sequenced
+groupcast packet is routed through it; the sequencer parses the
+groupcast header, atomically increments one counter per destination
+group, writes the resulting :class:`~repro.net.message.MultiStamp`
+(with its epoch number) into the packet, and fans per-recipient copies
+out to every member of every destination group.
+
+All counter state is *soft*: a replacement sequencer starts every
+counter at zero in a strictly higher epoch, and receivers order
+messages lexicographically by (epoch, sequence) — the paper's
+fault-tolerance design, which pushes recovery to the application (the
+Eris epoch-change protocol) instead of replicating the sequencer.
+
+Three deployment profiles mirror §5.4 / Table 1: an in-switch design, a
+network-processor middlebox, and a commodity end host. They differ only
+in per-packet processing capacity and added latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.endpoint import Node
+from repro.net.message import MultiStamp, Packet
+from repro.net.network import Network
+
+
+@dataclass(frozen=True)
+class SequencerProfile:
+    """Capacity/latency envelope of one sequencer implementation.
+
+    ``per_packet_service`` is the inverse of the implementation's
+    packet-processing capacity; ``added_latency`` is the extra one-way
+    delay a packet experiences traversing it (Table 1's latency column,
+    which the Table 1 benchmark reproduces).
+    """
+
+    name: str
+    per_packet_service: float
+    added_latency: float
+
+    # Paper reference points (Table 1 + §5.4 in-switch analysis).
+    @staticmethod
+    def in_switch() -> "SequencerProfile":
+        """Line-rate programmable switch: effectively unconstrained."""
+        return SequencerProfile("in-switch", 0.0, 0.5e-6)
+
+    @staticmethod
+    def middlebox() -> "SequencerProfile":
+        """Cavium Octeon CN6880: 6.19M packets/s, 13.64 us latency."""
+        return SequencerProfile("middlebox", 1.0 / 6.19e6, 13.64e-6)
+
+    @staticmethod
+    def endhost() -> "SequencerProfile":
+        """Userspace Linux on a 24-core Xeon: 1.61M packets/s, 24.60 us."""
+        return SequencerProfile("endhost", 1.0 / 1.61e6, 24.60e-6)
+
+
+class MultiSequencer(Node):
+    """A network element that multi-stamps groupcast packets."""
+
+    def __init__(self, address: str, network: Network,
+                 profile: SequencerProfile | None = None, epoch: int = 1):
+        super().__init__(address, network)
+        self.profile = profile or SequencerProfile.in_switch()
+        self.msg_service_time = self.profile.per_packet_service
+        self.epoch = epoch
+        self.counters: dict[int, int] = {}
+        self.packets_stamped = 0
+
+    def install_epoch(self, epoch: int) -> None:
+        """SDN controller installs a strictly higher epoch; counters
+        restart (soft state is lost with the previous sequencer)."""
+        if epoch <= self.epoch and self.packets_stamped:
+            raise ValueError(
+                f"epoch must increase: {epoch} <= {self.epoch}"
+            )
+        self.epoch = epoch
+        self.counters = {}
+
+    # The sequencer handles raw packets, not payload messages.
+    def _process(self, packet: Packet) -> None:
+        if self.crashed:
+            return
+        self.messages_processed += 1
+        if packet.groupcast is None:
+            if packet.dst == self.address:
+                # Control-plane traffic for the sequencer itself
+                # (health-check pings from the SDN controller).
+                self.handle(packet.src, packet.payload, packet)
+            elif packet.dst is not None:
+                # Not groupcast traffic; a real switch just forwards.
+                self.network.send(packet)
+            return
+        stamped = self.stamp(packet)
+        for group in stamped.groupcast.groups:
+            self.network.fan_out(stamped, self.network.groups.members(group))
+
+    def stamp(self, packet: Packet) -> Packet:
+        """Atomically assign one sequence number per destination group."""
+        stamps = []
+        for group in packet.groupcast.groups:
+            seq = self.counters.get(group, 0) + 1
+            self.counters[group] = seq
+            stamps.append((group, seq))
+        packet.multistamp = MultiStamp(epoch=self.epoch, stamps=tuple(stamps))
+        self.packets_stamped += 1
+        return packet
+
+    def service_time_for(self, packet: Packet) -> float:
+        return self.profile.per_packet_service
+
+    def deliver(self, packet: Packet) -> None:
+        # Charge the profile's traversal latency on top of queueing.
+        if self.crashed:
+            return
+        self.loop.schedule(self.profile.added_latency,
+                           super().deliver, packet)

@@ -1,0 +1,109 @@
+"""In-switch feasibility analysis for multi-sequencing (§5.4).
+
+The paper argues multi-sequenced groupcast can run at line rate in a
+programmable switch (Reconfigurable Match Tables and similar
+architectures) and derives two resource bounds on how many destination
+shards one packet can carry:
+
+1. **Stateful ALUs** — each destination group needs one per-shard
+   counter incremented per packet. RMT provides 32 stages with 4–6
+   register-attached ALUs each: 128–192 destinations per packet.
+2. **Packet header vector** — the fields available to match/action
+   logic are capped at 512 bytes; after IP/UDP and groupcast framing,
+   32-bit per-destination stamp slots allow 116 simultaneous
+   destinations.
+
+The effective limit is the minimum of the two; systems whose
+transactions span more shards need the paper's suggested special-case
+handling for global (all-shard) messages. This module makes that
+arithmetic executable so deployments can be validated against a switch
+model (see ``validate_deployment``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SwitchModel:
+    """Resource envelope of a programmable switch pipeline."""
+
+    name: str
+    stages: int
+    register_alus_per_stage: int
+    header_vector_bytes: int
+    #: IP (20) + UDP (8) + epoch number + groupcast framing.
+    header_overhead_bytes: int = 48
+    #: One 32-bit sequence-number slot per destination group.
+    bytes_per_destination: int = 4
+
+    def __post_init__(self) -> None:
+        if min(self.stages, self.register_alus_per_stage,
+               self.header_vector_bytes) <= 0:
+            raise ConfigurationError("switch resources must be positive")
+
+    # -- the two §5.4 bounds ------------------------------------------------
+    def alu_bound(self) -> int:
+        """Destinations limited by stateful counter increments."""
+        return self.stages * self.register_alus_per_stage
+
+    def header_vector_bound(self) -> int:
+        """Destinations limited by the packet header vector budget."""
+        usable = self.header_vector_bytes - self.header_overhead_bytes
+        if usable <= 0:
+            return 0
+        return usable // self.bytes_per_destination
+
+    def max_destinations(self) -> int:
+        """Shards one multi-sequenced groupcast packet can address."""
+        return min(self.alu_bound(), self.header_vector_bound())
+
+    def supports(self, n_shards: int) -> bool:
+        return n_shards <= self.max_destinations()
+
+
+def rmt_low() -> SwitchModel:
+    """RMT with 4 register ALUs per stage (paper's low estimate)."""
+    return SwitchModel(name="rmt-4alu", stages=32,
+                       register_alus_per_stage=4,
+                       header_vector_bytes=512)
+
+
+def rmt_high() -> SwitchModel:
+    """RMT with 6 register ALUs per stage (paper's high estimate)."""
+    return SwitchModel(name="rmt-6alu", stages=32,
+                       register_alus_per_stage=6,
+                       header_vector_bytes=512)
+
+
+def validate_deployment(n_shards: int,
+                        model: SwitchModel | None = None,
+                        max_participants: int | None = None) -> dict:
+    """Check a deployment against a switch model.
+
+    ``max_participants`` bounds the widest transaction the workload
+    produces (defaults to all shards, the conservative case). Returns a
+    report dict; raises ConfigurationError when the deployment cannot
+    be sequenced in-switch even with all-shard special-casing, i.e.
+    when even single transactions exceed every bound.
+    """
+    model = model or rmt_low()
+    widest = n_shards if max_participants is None else max_participants
+    limit = model.max_destinations()
+    report = {
+        "model": model.name,
+        "alu_bound": model.alu_bound(),
+        "header_vector_bound": model.header_vector_bound(),
+        "max_destinations": limit,
+        "n_shards": n_shards,
+        "widest_transaction": widest,
+        "fits": widest <= limit,
+        "needs_global_special_case": widest > limit,
+    }
+    if limit < 1:
+        raise ConfigurationError(
+            f"switch model {model.name} cannot carry any multi-stamp")
+    return report

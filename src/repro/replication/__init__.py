@@ -1,0 +1,14 @@
+"""Intra-shard replication for the layered baselines.
+
+Eris itself needs no replication protocol — the network-level multi-
+sequencing plus the Eris application protocol replace it. The layered
+baselines (Lock-Store, Granola) replicate each shard with Viewstamped
+Replication (:mod:`repro.replication.vr`), the leader-based protocol
+the paper calls "Multi-Paxos" overhead; the two are equivalent for this
+purpose.
+"""
+
+from repro.replication.log import ReplicatedLog, ReplicatedLogEntry
+from repro.replication.vr import VRConfig, VRReplica
+
+__all__ = ["ReplicatedLog", "ReplicatedLogEntry", "VRConfig", "VRReplica"]

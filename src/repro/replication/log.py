@@ -1,0 +1,52 @@
+"""The replicated operation log shared by VR replicas."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+
+@dataclass
+class ReplicatedLogEntry:
+    """One slot: the op plus the view it was accepted in."""
+
+    op_num: int
+    view: int
+    op: Any
+
+
+class ReplicatedLog:
+    """1-indexed append-only log (op numbers start at 1)."""
+
+    def __init__(self) -> None:
+        self._entries: list[ReplicatedLogEntry] = []
+
+    def append(self, view: int, op: Any) -> ReplicatedLogEntry:
+        entry = ReplicatedLogEntry(op_num=len(self._entries) + 1, view=view,
+                                   op=op)
+        self._entries.append(entry)
+        return entry
+
+    def get(self, op_num: int) -> Optional[ReplicatedLogEntry]:
+        if 1 <= op_num <= len(self._entries):
+            return self._entries[op_num - 1]
+        return None
+
+    def truncate_to(self, op_num: int) -> None:
+        """Keep entries 1..op_num."""
+        del self._entries[op_num:]
+
+    def replace_suffix(self, entries: list[ReplicatedLogEntry]) -> None:
+        """Adopt ``entries`` (a full log) wholesale — used when a view
+        change installs the new canonical log."""
+        self._entries = list(entries)
+
+    @property
+    def last_op_num(self) -> int:
+        return len(self._entries)
+
+    def entries(self) -> list[ReplicatedLogEntry]:
+        return list(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,383 @@
+"""Viewstamped Replication (Oki & Liskov; Liskov & Cowling 2012).
+
+A leader-based state-machine replication protocol, equivalent to
+Multi-Paxos for our purposes: the leader assigns op numbers, backups
+acknowledge, an op commits once a majority (leader + f backups) holds
+it, and every replica executes committed ops in log order.
+
+The baselines embed this as a base class: a Lock-Store or Granola shard
+server *is* a :class:`VRReplica` whose ``execute_op`` applies protocol
+operations ("prepare txn", "commit txn", ...) to the local store.
+Application code at the leader calls :meth:`replicate`; the
+``on_committed`` callback fires (leader-side only) with the execution
+result once the op is durable and applied.
+
+Normal case plus the view-change sub-protocol are implemented; state
+transfer for recovering replicas is out of scope (crashed baseline
+replicas stay down, as in the paper's experiments).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.net.endpoint import Node
+from repro.net.message import Address, Packet
+from repro.net.network import Network
+from repro.replication.log import ReplicatedLog, ReplicatedLogEntry
+
+
+@dataclass(frozen=True)
+class VRPrepare:
+    view: int
+    op_num: int
+    op: Any
+    commit_num: int
+
+
+@dataclass(frozen=True)
+class VRPrepareOK:
+    view: int
+    op_num: int
+    sender: Address
+
+
+@dataclass(frozen=True)
+class VRCommit:
+    view: int
+    commit_num: int
+
+
+@dataclass(frozen=True)
+class VRStateRequest:
+    """Backup → leader: I am missing committed entries from ``from_op``."""
+
+    view: int
+    from_op: int
+    sender: Address
+
+
+@dataclass(frozen=True)
+class VRStateTransfer:
+    """Leader → backup: the missing committed log entries."""
+
+    view: int
+    from_op: int
+    ops: tuple
+    commit_num: int
+
+
+@dataclass(frozen=True)
+class VRStartViewChange:
+    view: int
+    sender: Address
+
+
+@dataclass(frozen=True)
+class VRDoViewChange:
+    view: int
+    log: tuple
+    last_normal_view: int
+    op_num: int
+    commit_num: int
+    sender: Address
+
+
+@dataclass(frozen=True)
+class VRStartView:
+    view: int
+    log: tuple
+    op_num: int
+    commit_num: int
+
+
+@dataclass
+class VRConfig:
+    heartbeat_interval: float = 5e-3
+    view_change_timeout: float = 50e-3
+
+
+class VRReplica(Node):
+    """One member of a replicated shard. Subclass and implement
+    :meth:`execute_op`."""
+
+    def __init__(self, address: Address, network: Network,
+                 group: list[Address], index: int,
+                 config: Optional[VRConfig] = None):
+        super().__init__(address, network)
+        self.group = list(group)
+        self.index = index
+        self.vr_config = config or VRConfig()
+        self.view = 0
+        self.vr_status = "normal"  # normal | view-change
+        self.vr_log = ReplicatedLog()
+        self.commit_num = 0
+        self.executed_num = 0
+        self._ack_counts: dict[int, set[Address]] = {}
+        self._callbacks: dict[int, Callable[[Any], None]] = {}
+        self._start_view_changes: dict[int, set[Address]] = {}
+        self._do_view_changes: dict[int, dict[Address, VRDoViewChange]] = {}
+        self._last_normal_view = 0
+        self._heartbeat = self.periodic(self.vr_config.heartbeat_interval,
+                                        self._send_heartbeat)
+        self._vc_timer = self.timer(self.vr_config.view_change_timeout,
+                                    self._on_leader_timeout)
+        if self.is_leader:
+            self._heartbeat.start()
+        else:
+            self._vc_timer.start()
+
+    # -- roles ------------------------------------------------------------
+    @property
+    def n_replicas(self) -> int:
+        return len(self.group)
+
+    @property
+    def f(self) -> int:
+        return (self.n_replicas - 1) // 2
+
+    @property
+    def leader_address(self) -> Address:
+        return self.group[self.view % self.n_replicas]
+
+    @property
+    def is_leader(self) -> bool:
+        return self.leader_address == self.address
+
+    def _others(self) -> list[Address]:
+        return [a for a in self.group if a != self.address]
+
+    # -- the app-facing API --------------------------------------------------
+    def replicate(self, op: Any,
+                  on_committed: Optional[Callable[[Any], None]] = None) -> None:
+        """Leader-only: append ``op`` and drive it to commit. When it
+        executes locally, ``on_committed(result)`` fires."""
+        assert self.is_leader and self.vr_status == "normal", \
+            f"replicate() on non-leader or during view change at {self.address}"
+        entry = self.vr_log.append(self.view, op)
+        if on_committed is not None:
+            self._callbacks[entry.op_num] = on_committed
+        self._ack_counts[entry.op_num] = {self.address}
+        for addr in self._others():
+            self.send(addr, VRPrepare(self.view, entry.op_num, op,
+                                      self.commit_num))
+        if self.f == 0:
+            self._advance_commit(entry.op_num)
+
+    def execute_op(self, op: Any) -> Any:
+        """Apply one committed op to the application state machine.
+        Runs on every replica, in log order."""
+        raise NotImplementedError
+
+    # -- normal case ----------------------------------------------------------
+    def on_VRPrepare(self, src: Address, msg: VRPrepare, packet: Packet) -> None:
+        if msg.view < self.view or self.vr_status != "normal":
+            return
+        if msg.view > self.view:
+            # We missed a view change; adopt the new view lazily.
+            self._enter_view(msg.view)
+        self._vc_timer.restart()
+        if msg.op_num <= self.vr_log.last_op_num:
+            # Duplicate prepare; re-ack.
+            self.send(src, VRPrepareOK(self.view, msg.op_num, self.address))
+            self._apply_commit(msg.commit_num)
+            return
+        if msg.op_num != self.vr_log.last_op_num + 1:
+            # Gap: we missed a prepare. A full VR would do state
+            # transfer; retransmission by the leader's heartbeat path
+            # is handled by ignoring and letting the leader resend.
+            return
+        self.vr_log.append(msg.view, msg.op)
+        self.send(src, VRPrepareOK(self.view, msg.op_num, self.address))
+        self._apply_commit(msg.commit_num)
+
+    def on_VRPrepareOK(self, src: Address, msg: VRPrepareOK,
+                       packet: Packet) -> None:
+        if msg.view != self.view or not self.is_leader:
+            return
+        acks = self._ack_counts.get(msg.op_num)
+        if acks is None:
+            return
+        acks.add(msg.sender)
+        if len(acks) >= self.f + 1:
+            self._advance_commit(msg.op_num)
+
+    def on_VRCommit(self, src: Address, msg: VRCommit, packet: Packet) -> None:
+        if msg.view < self.view or self.vr_status != "normal":
+            return
+        if msg.view > self.view:
+            self._enter_view(msg.view)
+        self._vc_timer.restart()
+        if msg.commit_num > self.vr_log.last_op_num:
+            # We missed committed entries entirely (prepares lost while
+            # the rest of the group advanced): ask for state transfer.
+            self.send(src, VRStateRequest(
+                view=self.view, from_op=self.vr_log.last_op_num + 1,
+                sender=self.address))
+        self._apply_commit(msg.commit_num)
+
+    def on_VRStateRequest(self, src: Address, msg: VRStateRequest,
+                          packet: Packet) -> None:
+        if msg.view != self.view or not self.is_leader:
+            return
+        ops = tuple(self.vr_log.get(op_num).op
+                    for op_num in range(msg.from_op,
+                                        self.commit_num + 1))
+        if ops:
+            self.send(src, VRStateTransfer(view=self.view,
+                                           from_op=msg.from_op, ops=ops,
+                                           commit_num=self.commit_num))
+
+    def on_VRStateTransfer(self, src: Address, msg: VRStateTransfer,
+                           packet: Packet) -> None:
+        if msg.view != self.view or self.vr_status != "normal":
+            return
+        for offset, op in enumerate(msg.ops):
+            op_num = msg.from_op + offset
+            if op_num == self.vr_log.last_op_num + 1:
+                self.vr_log.append(self.view, op)
+        self._apply_commit(msg.commit_num)
+
+    def _advance_commit(self, op_num: int) -> None:
+        if op_num > self.commit_num:
+            self.commit_num = op_num
+        self._execute_ready()
+
+    def _apply_commit(self, commit_num: int) -> None:
+        self.commit_num = max(self.commit_num,
+                              min(commit_num, self.vr_log.last_op_num))
+        self._execute_ready()
+
+    def _execute_ready(self) -> None:
+        while self.executed_num < self.commit_num:
+            self.executed_num += 1
+            entry = self.vr_log.get(self.executed_num)
+            result = self.execute_op(entry.op)
+            callback = self._callbacks.pop(self.executed_num, None)
+            if callback is not None:
+                callback(result)
+
+    def _send_heartbeat(self) -> None:
+        if not (self.is_leader and self.vr_status == "normal"
+                and not self.crashed):
+            return
+        for addr in self._others():
+            self.send(addr, VRCommit(self.view, self.commit_num))
+        # Retransmit the uncommitted window: a lost VRPrepare would
+        # otherwise stall that op (and everything behind it) forever.
+        for op_num in range(self.commit_num + 1,
+                            self.vr_log.last_op_num + 1):
+            entry = self.vr_log.get(op_num)
+            for addr in self._others():
+                self.send(addr, VRPrepare(self.view, op_num, entry.op,
+                                          self.commit_num))
+
+    # -- view change ----------------------------------------------------------
+    def _on_leader_timeout(self) -> None:
+        if self.crashed or self.is_leader:
+            return
+        self._start_view_change(self.view + 1)
+
+    def _start_view_change(self, new_view: int) -> None:
+        self.view = new_view
+        self.vr_status = "view-change"
+        self._heartbeat.stop()
+        votes = self._start_view_changes.setdefault(new_view, set())
+        votes.add(self.address)
+        for addr in self._others():
+            self.send(addr, VRStartViewChange(new_view, self.address))
+        self._vc_timer.restart()  # escalate again if this view also stalls
+        self._maybe_do_view_change(new_view)
+
+    def on_VRStartViewChange(self, src: Address, msg: VRStartViewChange,
+                             packet: Packet) -> None:
+        if msg.view > self.view:
+            self._start_view_change(msg.view)
+        if msg.view == self.view and self.vr_status == "view-change":
+            self._start_view_changes.setdefault(msg.view, set()).add(msg.sender)
+            self._maybe_do_view_change(msg.view)
+
+    def _maybe_do_view_change(self, view: int) -> None:
+        if view != self.view or self.vr_status != "view-change":
+            return
+        if len(self._start_view_changes.get(view, ())) < self.f + 1:
+            return
+        new_leader = self.group[view % self.n_replicas]
+        msg = VRDoViewChange(
+            view=view,
+            log=tuple(self.vr_log.entries()),
+            last_normal_view=self._last_normal_view,
+            op_num=self.vr_log.last_op_num,
+            commit_num=self.commit_num,
+            sender=self.address,
+        )
+        if new_leader == self.address:
+            self._record_do_view_change(msg)
+        else:
+            self.send(new_leader, msg)
+
+    def on_VRDoViewChange(self, src: Address, msg: VRDoViewChange,
+                          packet: Packet) -> None:
+        if msg.view < self.view:
+            return
+        if msg.view > self.view:
+            self._start_view_change(msg.view)
+        self._record_do_view_change(msg)
+
+    def _record_do_view_change(self, msg: VRDoViewChange) -> None:
+        received = self._do_view_changes.setdefault(msg.view, {})
+        received[msg.sender] = msg
+        if len(received) < self.f + 1 or self.vr_status != "view-change":
+            return
+        if self.group[msg.view % self.n_replicas] != self.address:
+            return
+        # Adopt the log from the message with the highest
+        # (last_normal_view, op_num); standard VR selection rule.
+        best = max(received.values(),
+                   key=lambda m: (m.last_normal_view, m.op_num))
+        self.vr_log.replace_suffix(list(best.log))
+        self.commit_num = max(m.commit_num for m in received.values())
+        self._enter_view(msg.view)
+        for addr in self._others():
+            self.send(addr, VRStartView(self.view,
+                                        tuple(self.vr_log.entries()),
+                                        self.vr_log.last_op_num,
+                                        self.commit_num))
+        self._execute_ready()
+
+    def on_VRStartView(self, src: Address, msg: VRStartView,
+                       packet: Packet) -> None:
+        if msg.view < self.view:
+            return
+        self.vr_log.replace_suffix(list(msg.log))
+        self.commit_num = max(self.commit_num, msg.commit_num)
+        self._enter_view(msg.view)
+        self._execute_ready()
+
+    def _enter_view(self, view: int) -> None:
+        self.view = view
+        self.vr_status = "normal"
+        self._last_normal_view = view
+        self._ack_counts = {}
+        self._callbacks = {}
+        self._start_view_changes = {v: s for v, s in
+                                    self._start_view_changes.items()
+                                    if v > view}
+        self._do_view_changes = {v: d for v, d in
+                                 self._do_view_changes.items() if v > view}
+        if self.is_leader:
+            self._vc_timer.stop()
+            self._heartbeat.start()
+            self.on_become_leader()
+        else:
+            self._heartbeat.stop()
+            self._vc_timer.restart()
+
+    def on_become_leader(self) -> None:
+        """Hook for subclasses (e.g. to re-drive pending transactions)."""
+
+    def crash(self) -> None:
+        super().crash()
+        self._heartbeat.stop()
+        self._vc_timer.stop()

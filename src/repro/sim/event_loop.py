@@ -1,0 +1,122 @@
+"""A minimal, fast discrete-event loop.
+
+Events are ``(time, sequence, callback)`` triples kept in a binary heap.
+The sequence number breaks ties deterministically, so two runs with the
+same seed and the same scheduling order replay identically — a property
+the protocol tests rely on.
+
+Time is a float in **seconds**; the network and CPU models use
+microsecond-scale constants (``5e-6`` is 5 µs).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+
+
+class Event:
+    """A scheduled callback. Cancel with :meth:`EventLoop.cancel`."""
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        return f"<Event t={self.time:.9f} seq={self.seq}{state} {self.fn!r}>"
+
+
+class EventLoop:
+    """Time-ordered event queue with deterministic tie-breaking."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[Event] = []
+        self._seq = 0
+        self._running = False
+        self.events_processed = 0
+
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self.now + delay, fn, *args)
+
+    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at an absolute simulation time."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before now={self.now}"
+            )
+        event = Event(time, self._seq, fn, args)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a pending event. Cancelling twice is harmless."""
+        event.cancelled = True
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> None:
+        """Process events in time order.
+
+        Stops when the queue is empty, when simulated time would pass
+        ``until``, or after ``max_events`` callbacks, whichever is first.
+        With ``until`` set, ``now`` is advanced to exactly ``until`` on
+        return so subsequent relative scheduling is anchored there.
+        """
+        if self._running:
+            raise SimulationError("event loop is not reentrant")
+        self._running = True
+        processed = 0
+        try:
+            heap = self._heap
+            while heap:
+                event = heap[0]
+                if event.cancelled:
+                    heapq.heappop(heap)
+                    continue
+                if until is not None and event.time > until:
+                    break
+                if max_events is not None and processed >= max_events:
+                    break
+                heapq.heappop(heap)
+                self.now = event.time
+                event.fn(*event.args)
+                processed += 1
+            if until is not None and self.now < until:
+                self.now = until
+        finally:
+            self.events_processed += processed
+            self._running = False
+
+    def run_until_idle(self, max_events: int = 10_000_000) -> None:
+        """Drain the queue completely (bounded by ``max_events``)."""
+        self.run(max_events=max_events)
+        if self._heap and all(not e.cancelled for e in self._heap):
+            raise SimulationError(
+                f"run_until_idle exceeded {max_events} events; "
+                "likely a livelock (e.g. an un-cancelled periodic timer)"
+            )
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events still queued."""
+        return sum(1 for e in self._heap if not e.cancelled)

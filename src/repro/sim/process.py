@@ -1,0 +1,86 @@
+"""Timer abstractions over the event loop.
+
+Protocol nodes use :class:`Timer` for one-shot retransmission/failure
+timeouts (restartable, cancellable) and :class:`PeriodicTimer` for
+heartbeats and the Eris synchronization protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sim.event_loop import Event, EventLoop
+
+
+class Timer:
+    """A restartable one-shot timer.
+
+    ``start()`` (re)arms the timer; if it was already armed, the previous
+    deadline is discarded — this is the usual semantics for protocol
+    retransmission timers that are pushed back on every response.
+    """
+
+    def __init__(self, loop: EventLoop, delay: float, fn: Callable[..., Any],
+                 *args: Any):
+        self._loop = loop
+        self.delay = delay
+        self._fn = fn
+        self._args = args
+        self._event: Optional[Event] = None
+
+    def start(self, delay: Optional[float] = None) -> None:
+        self.stop()
+        self._event = self._loop.schedule(
+            self.delay if delay is None else delay, self._fire
+        )
+
+    def stop(self) -> None:
+        if self._event is not None:
+            self._loop.cancel(self._event)
+            self._event = None
+
+    def restart(self, delay: Optional[float] = None) -> None:
+        self.start(delay)
+
+    @property
+    def active(self) -> bool:
+        return self._event is not None and not self._event.cancelled
+
+    def _fire(self) -> None:
+        self._event = None
+        self._fn(*self._args)
+
+
+class PeriodicTimer:
+    """Fires ``fn`` every ``period`` seconds until stopped."""
+
+    def __init__(self, loop: EventLoop, period: float, fn: Callable[..., Any],
+                 *args: Any):
+        self._loop = loop
+        self.period = period
+        self._fn = fn
+        self._args = args
+        self._event: Optional[Event] = None
+        self._stopped = True
+
+    def start(self, initial_delay: Optional[float] = None) -> None:
+        self.stop()
+        self._stopped = False
+        delay = self.period if initial_delay is None else initial_delay
+        self._event = self._loop.schedule(delay, self._fire)
+
+    def stop(self) -> None:
+        self._stopped = True
+        if self._event is not None:
+            self._loop.cancel(self._event)
+            self._event = None
+
+    @property
+    def active(self) -> bool:
+        return not self._stopped
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self._event = self._loop.schedule(self.period, self._fire)
+        self._fn(*self._args)

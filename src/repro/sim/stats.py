@@ -1,0 +1,110 @@
+"""Measurement utilities: latency recording, throughput, time series.
+
+The harness opens a measurement window after warmup; recorders ignore
+samples outside the window so steady-state numbers are not polluted by
+cold-start or drain effects.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class LatencyRecorder:
+    """Collects latency samples inside an optional measurement window."""
+
+    def __init__(self) -> None:
+        self.samples: list[float] = []
+        self.window_start: Optional[float] = None
+        self.window_end: Optional[float] = None
+
+    def open_window(self, start: float, end: Optional[float] = None) -> None:
+        self.window_start = start
+        self.window_end = end
+
+    def record(self, at_time: float, latency: float) -> None:
+        if self.window_start is not None and at_time < self.window_start:
+            return
+        if self.window_end is not None and at_time > self.window_end:
+            return
+        self.samples.append(latency)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    def mean(self) -> float:
+        if not self.samples:
+            return math.nan
+        return sum(self.samples) / len(self.samples)
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile, p in [0, 100]."""
+        if not self.samples:
+            return math.nan
+        ordered = sorted(self.samples)
+        rank = max(0, min(len(ordered) - 1,
+                          math.ceil(p / 100.0 * len(ordered)) - 1))
+        return ordered[rank]
+
+    def median(self) -> float:
+        return self.percentile(50)
+
+
+class ThroughputMeter:
+    """Counts completions inside a window and reports a rate."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total_count = 0
+        self.window_start: Optional[float] = None
+        self.window_end: Optional[float] = None
+
+    def open_window(self, start: float, end: float) -> None:
+        self.window_start = start
+        self.window_end = end
+
+    def record(self, at_time: float, n: int = 1) -> None:
+        self.total_count += n
+        if self.window_start is not None and at_time < self.window_start:
+            return
+        if self.window_end is not None and at_time > self.window_end:
+            return
+        self.count += n
+
+    def rate(self) -> float:
+        """Completions per second over the measurement window."""
+        if self.window_start is None or self.window_end is None:
+            return math.nan
+        duration = self.window_end - self.window_start
+        if duration <= 0:
+            return math.nan
+        return self.count / duration
+
+
+@dataclass
+class TimeSeries:
+    """Bucketized event counts, for throughput-over-time plots (Fig 14)."""
+
+    bucket_width: float
+    origin: float = 0.0
+    buckets: dict[int, int] = field(default_factory=dict)
+
+    def record(self, at_time: float, n: int = 1) -> None:
+        index = int((at_time - self.origin) // self.bucket_width)
+        self.buckets[index] = self.buckets.get(index, 0) + n
+
+    def series(self) -> list[tuple[float, float]]:
+        """(bucket midpoint time, rate per second) pairs, sorted by time."""
+        if not self.buckets:
+            return []
+        lo = min(self.buckets)
+        hi = max(self.buckets)
+        out = []
+        for i in range(lo, hi + 1):
+            midpoint = self.origin + (i + 0.5) * self.bucket_width
+            rate = self.buckets.get(i, 0) / self.bucket_width
+            out.append((midpoint, rate))
+        return out

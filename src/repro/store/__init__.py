@@ -1,0 +1,27 @@
+"""Storage substrate shared by Eris and every baseline.
+
+- :mod:`repro.store.kv` — the in-memory key-value store.
+- :mod:`repro.store.undo` — undo logging for abortable transactions.
+- :mod:`repro.store.procedures` — stored procedures and the transaction
+  execution context they run in.
+- :mod:`repro.store.locks` — per-key read/write locks with queueing and
+  wait-die policies (used by the general-transaction layer, Lock-Store,
+  and Granola's locking mode).
+"""
+
+from repro.store.kv import KVStore, MISSING
+from repro.store.locks import LockManager, LockMode, LockOutcome, LockRequest
+from repro.store.procedures import ProcedureRegistry, TxnContext
+from repro.store.undo import UndoLog
+
+__all__ = [
+    "KVStore",
+    "MISSING",
+    "LockManager",
+    "LockMode",
+    "LockOutcome",
+    "LockRequest",
+    "ProcedureRegistry",
+    "TxnContext",
+    "UndoLog",
+]

@@ -1,0 +1,87 @@
+"""In-memory key-value store.
+
+Keys are arbitrary hashable values; the workloads use strings
+(``"user4821"``) and tuples (``("stock", w_id, i_id)`` for TPC-C rows).
+Values are opaque. The store itself is deliberately unsynchronized —
+per the H-Store-style execution model (§4.1), each partition executes
+transactions serially on a single logical thread, so no latching is
+needed, which is precisely the overhead the architecture eliminates.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterator
+
+
+class _Missing:
+    """Sentinel for 'key absent' (distinct from a stored ``None``)."""
+
+    _instance = None
+
+    def __new__(cls) -> "_Missing":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "<MISSING>"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+MISSING = _Missing()
+
+
+class KVStore:
+    """A dictionary with a MISSING-aware interface and counters."""
+
+    def __init__(self) -> None:
+        self._data: dict[Hashable, Any] = {}
+        self.reads = 0
+        self.writes = 0
+
+    def get(self, key: Hashable) -> Any:
+        """Value for ``key``, or :data:`MISSING` if absent."""
+        self.reads += 1
+        return self._data.get(key, MISSING)
+
+    def put(self, key: Hashable, value: Any) -> None:
+        self.writes += 1
+        self._data[key] = value
+
+    def delete(self, key: Hashable) -> None:
+        self.writes += 1
+        self._data.pop(key, None)
+
+    def contains(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def restore(self, key: Hashable, value: Any) -> None:
+        """Rollback helper: reinstate a value or remove the key."""
+        if value is MISSING:
+            self._data.pop(key, None)
+        else:
+            self._data[key] = value
+
+    def scan_prefix(self, prefix: tuple) -> Iterator[tuple[Hashable, Any]]:
+        """Iterate ``(key, value)`` for tuple keys starting with
+        ``prefix`` (used by TPC-C secondary lookups). O(n); the TPC-C
+        procedures keep their own indexes for hot paths."""
+        for key, value in self._data.items():
+            if isinstance(key, tuple) and key[: len(prefix)] == prefix:
+                yield key, value
+
+    def snapshot(self) -> dict:
+        """A shallow copy of the entire state (state transfer, checks)."""
+        return dict(self._data)
+
+    def load(self, data: dict) -> None:
+        """Replace contents wholesale (application state transfer)."""
+        self._data = dict(data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data

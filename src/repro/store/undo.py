@@ -1,0 +1,40 @@
+"""Undo logging.
+
+Transactions that may abort after writing (Lock-Store prepares, Eris
+general transactions between their preliminary and conclusory halves,
+TPC-C's 1%-abort new-order) record pre-images here; :meth:`rollback`
+reinstates them in reverse order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable
+
+from repro.store.kv import KVStore
+
+
+class UndoLog:
+    """Pre-images for one transaction, applied LIFO on rollback."""
+
+    def __init__(self) -> None:
+        self._entries: list[tuple[Hashable, Any]] = []
+        self._seen: set[Hashable] = set()
+
+    def record(self, key: Hashable, old_value: Any) -> None:
+        """Record a pre-image; only the first write to a key matters."""
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        self._entries.append((key, old_value))
+
+    def rollback(self, store: KVStore) -> None:
+        for key, old_value in reversed(self._entries):
+            store.restore(key, old_value)
+        self.clear()
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._seen.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)

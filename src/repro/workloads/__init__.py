@@ -1,0 +1,23 @@
+"""Workload generators for the evaluation (§8).
+
+- :mod:`repro.workloads.zipf` — YCSB-style Zipfian key chooser.
+- :mod:`repro.workloads.ycsb` — YCSB+T: the SRW / MRMW / CRMW
+  transactional microbenchmarks of §8.1.
+- :mod:`repro.workloads.tpcc` — TPC-C with H-Store partitioning (§8.2).
+"""
+
+from repro.workloads.partition import Partitioner
+from repro.workloads.ycsb import (
+    YCSBConfig,
+    YCSBWorkload,
+    register_ycsb_procedures,
+)
+from repro.workloads.zipf import ZipfGenerator
+
+__all__ = [
+    "Partitioner",
+    "YCSBConfig",
+    "YCSBWorkload",
+    "register_ycsb_procedures",
+    "ZipfGenerator",
+]

@@ -1,0 +1,187 @@
+"""TPC-C transaction mix generator.
+
+Emits the standard mix (new-order 45%, payment 43%, order-status 4%,
+delivery 4%, stock-level 4%); ``remote_fraction`` of new-orders include
+a remote supply warehouse and the same fraction of payments a remote
+customer — the paper's "10% of transactions issued to multiple
+participants". 1% of new-orders carry an invalid item id and abort
+deterministically, per the spec.
+
+Declared read/write key sets (consumed by the lock- and OCC-based
+systems) follow row-level locking with one convention: order,
+order-line and new-order inserts are covered by the home district's
+write lock, whose ``next_o_id`` they derive from — every writer of
+those rows holds that lock, so the coverage is sound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.common import WorkloadOp
+from repro.sim.randomness import SplitRandom
+from repro.workloads.partition import Partitioner
+from repro.workloads.tpcc.schema import (
+    TPCCScale,
+    customer_key,
+    customer_last_order_key,
+    district_key,
+    stock_key,
+    warehouse_key,
+)
+
+#: (name, cumulative probability) — the standard TPC-C mix.
+_MIX = (
+    ("new_order", 0.45),
+    ("payment", 0.88),
+    ("order_status", 0.92),
+    ("delivery", 0.96),
+    ("stock_level", 1.00),
+)
+
+
+@dataclass
+class TPCCConfig:
+    scale: TPCCScale = field(default_factory=TPCCScale)
+    remote_fraction: float = 0.10
+    invalid_item_fraction: float = 0.01
+    min_order_lines: int = 5
+    max_order_lines: int = 10
+
+
+class TPCCWorkload:
+    """Emits :class:`WorkloadOp` for the TPC-C mix."""
+
+    def __init__(self, config: TPCCConfig, partitioner: Partitioner,
+                 rng: SplitRandom):
+        self.config = config
+        self.partitioner = partitioner
+        self._rng = rng.split("tpcc")
+        self._clock = 0
+
+    # -- helpers ----------------------------------------------------------
+    def _warehouse(self) -> int:
+        return self._rng.randrange(self.config.scale.n_warehouses)
+
+    def _remote_warehouse(self, home: int) -> int:
+        n = self.config.scale.n_warehouses
+        if n == 1:
+            return home
+        other = self._rng.randrange(n - 1)
+        return other if other < home else other + 1
+
+    def _district(self) -> int:
+        return self._rng.randrange(self.config.scale.districts_per_warehouse)
+
+    def _customer(self) -> int:
+        return self._rng.randrange(self.config.scale.customers_per_district)
+
+    def _item(self) -> int:
+        return self._rng.randint(1, self.config.scale.n_items)
+
+    def _tick(self) -> int:
+        self._clock += 1
+        return self._clock
+
+    def _shard(self, w: int) -> int:
+        return self.partitioner.shard_of(warehouse_key(w))
+
+    # -- transaction builders ----------------------------------------------
+    def _new_order(self) -> WorkloadOp:
+        scale = self.config.scale
+        w = self._warehouse()
+        d = self._district()
+        c = self._customer()
+        n_lines = self._rng.randint(self.config.min_order_lines,
+                                    self.config.max_order_lines)
+        remote = self._rng.random() < self.config.remote_fraction
+        items = []
+        seen = set()
+        for line in range(n_lines):
+            i_id = self._item()
+            while i_id in seen:
+                i_id = self._item()
+            seen.add(i_id)
+            supply_w = w
+            if remote and line == 0 and scale.n_warehouses > 1:
+                supply_w = self._remote_warehouse(w)
+            items.append((i_id, supply_w, self._rng.randint(1, 10)))
+        invalid = self._rng.random() < self.config.invalid_item_fraction
+        reads = {warehouse_key(w), customer_key(w, d, c)}
+        writes = {district_key(w, d)}
+        writes.update(stock_key(sw, i) for i, sw, _ in items)
+        participants = {self._shard(w)}
+        participants.update(self._shard(sw) for _, sw, _ in items)
+        return WorkloadOp(
+            proc="tpcc_new_order",
+            args={"w_id": w, "d_id": d, "c_id": c, "items": tuple(items),
+                  "entry_d": self._tick(), "invalid_item": invalid},
+            participants=tuple(sorted(participants)),
+            read_keys=frozenset(reads),
+            write_keys=frozenset(writes),
+        )
+
+    def _payment(self) -> WorkloadOp:
+        w = self._warehouse()
+        d = self._district()
+        remote = (self._rng.random() < self.config.remote_fraction
+                  and self.config.scale.n_warehouses > 1)
+        c_w = self._remote_warehouse(w) if remote else w
+        c_d = self._district()
+        c = self._customer()
+        amount = round(self._rng.uniform(1.0, 5000.0), 2)
+        writes = {warehouse_key(w), district_key(w, d),
+                  customer_key(c_w, c_d, c)}
+        participants = {self._shard(w), self._shard(c_w)}
+        return WorkloadOp(
+            proc="tpcc_payment",
+            args={"w_id": w, "d_id": d, "c_w_id": c_w, "c_d_id": c_d,
+                  "c_id": c, "amount": amount},
+            participants=tuple(sorted(participants)),
+            write_keys=frozenset(writes),
+        )
+
+    def _order_status(self) -> WorkloadOp:
+        w = self._warehouse()
+        d = self._district()
+        c = self._customer()
+        reads = {customer_key(w, d, c), customer_last_order_key(w, d, c),
+                 district_key(w, d)}
+        return WorkloadOp(
+            proc="tpcc_order_status",
+            args={"w_id": w, "d_id": d, "c_id": c},
+            participants=(self._shard(w),),
+            read_keys=frozenset(reads),
+        )
+
+    def _delivery(self) -> WorkloadOp:
+        w = self._warehouse()
+        writes = {warehouse_key(w)}
+        writes.update(district_key(w, d)
+                      for d in range(self.config.scale
+                                     .districts_per_warehouse))
+        return WorkloadOp(
+            proc="tpcc_delivery",
+            args={"w_id": w, "carrier_id": self._rng.randint(1, 10),
+                  "n_districts": self.config.scale.districts_per_warehouse},
+            participants=(self._shard(w),),
+            write_keys=frozenset(writes),
+        )
+
+    def _stock_level(self) -> WorkloadOp:
+        w = self._warehouse()
+        d = self._district()
+        return WorkloadOp(
+            proc="tpcc_stock_level",
+            args={"w_id": w, "d_id": d,
+                  "threshold": self._rng.randint(10, 20)},
+            participants=(self._shard(w),),
+            read_keys=frozenset({district_key(w, d)}),
+        )
+
+    def next_op(self) -> WorkloadOp:
+        draw = self._rng.random()
+        for name, cumulative in _MIX:
+            if draw < cumulative:
+                return getattr(self, f"_{name}")()
+        return self._stock_level()  # pragma: no cover - float edge

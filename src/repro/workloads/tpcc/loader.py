@@ -1,0 +1,54 @@
+"""TPC-C database loader.
+
+Populates every replica store with its shard's rows; the item table is
+replicated into every store (the H-Store partitioning scheme).
+"""
+
+from __future__ import annotations
+
+from repro.store.kv import KVStore
+from repro.workloads.partition import Partitioner
+from repro.workloads.tpcc.schema import (
+    TPCCScale,
+    customer_key,
+    district_key,
+    item_key,
+    make_customer,
+    make_district,
+    make_item,
+    make_stock,
+    make_warehouse,
+    stock_key,
+    warehouse_key,
+)
+
+
+def generate_rows(scale: TPCCScale):
+    """Yield every (key, row) in the initial database."""
+    scale.validate()
+    for i in range(1, scale.n_items + 1):
+        yield item_key(i), make_item(i)
+    for w in range(scale.n_warehouses):
+        yield warehouse_key(w), make_warehouse(w)
+        for i in range(1, scale.n_items + 1):
+            yield stock_key(w, i), make_stock(w, i)
+        for d in range(scale.districts_per_warehouse):
+            yield district_key(w, d), make_district(w, d)
+            for c in range(scale.customers_per_district):
+                yield customer_key(w, d, c), make_customer(w, d, c)
+
+
+def load_tpcc(stores: dict[int, list[KVStore]], partitioner: Partitioner,
+              scale: TPCCScale) -> int:
+    """Load all rows into the owning shards' stores; returns row count."""
+    count = 0
+    for key, row in generate_rows(scale):
+        count += 1
+        if partitioner.is_replicated(key):
+            owners = list(stores)
+        else:
+            owners = [partitioner.shard_of(key)]
+        for shard in owners:
+            for store in stores[shard]:
+                store.put(key, row)
+    return count

@@ -1,0 +1,32 @@
+"""Warehouse-based partitioning for TPC-C (H-Store style).
+
+Every row key is a tuple whose first element names the table; all
+warehouse-anchored tables carry the warehouse id second, so the shard
+of a key is ``w_id % n_shards``. The item table is read-only and
+replicated to every shard.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.workloads.partition import Partitioner
+
+
+def warehouse_of(key: Hashable) -> int:
+    """Warehouse id embedded in a TPC-C row key."""
+    return key[1]
+
+
+def tpcc_partitioner(n_shards: int) -> Partitioner:
+    def shard_fn(key: Hashable) -> int:
+        if not isinstance(key, tuple):
+            raise TypeError(f"TPC-C keys are tuples, got {key!r}")
+        if key[0] == "item":
+            return 0  # never consulted: items are replicated
+        return warehouse_of(key) % n_shards
+
+    def replicated(key: Hashable) -> bool:
+        return isinstance(key, tuple) and key[0] == "item"
+
+    return Partitioner(n_shards, shard_fn=shard_fn, replicated=replicated)

@@ -1,0 +1,101 @@
+"""TPC-C row constructors and scale parameters.
+
+Rows are plain dicts stored under tuple keys; procedures copy-on-write
+(``dict(row)`` before mutating) so undo logging's shallow pre-images
+stay valid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TPCCScale:
+    """How much data to load. Defaults are scaled down from the spec's
+    (100k items, 3k customers/district) so simulations stay laptop-
+    sized; ratios between tables are preserved."""
+
+    n_warehouses: int = 15
+    districts_per_warehouse: int = 10
+    customers_per_district: int = 30
+    n_items: int = 200
+
+    def validate(self) -> None:
+        if min(self.n_warehouses, self.districts_per_warehouse,
+               self.customers_per_district, self.n_items) <= 0:
+            raise ValueError("all TPC-C scale parameters must be positive")
+
+
+# -- key constructors --------------------------------------------------
+
+def warehouse_key(w: int) -> tuple:
+    return ("warehouse", w)
+
+
+def district_key(w: int, d: int) -> tuple:
+    return ("district", w, d)
+
+
+def customer_key(w: int, d: int, c: int) -> tuple:
+    return ("customer", w, d, c)
+
+
+def customer_last_order_key(w: int, d: int, c: int) -> tuple:
+    return ("cust_last_order", w, d, c)
+
+
+def stock_key(w: int, i: int) -> tuple:
+    return ("stock", w, i)
+
+
+def item_key(i: int) -> tuple:
+    return ("item", i)
+
+
+def order_key(w: int, d: int, o: int) -> tuple:
+    return ("order", w, d, o)
+
+
+def order_line_key(w: int, d: int, o: int, number: int) -> tuple:
+    return ("order_line", w, d, o, number)
+
+
+def new_order_key(w: int, d: int, o: int) -> tuple:
+    return ("new_order", w, d, o)
+
+
+def delivery_cursor_key(w: int, d: int) -> tuple:
+    """Oldest undelivered order id for one district."""
+    return ("delivery_cursor", w, d)
+
+
+# -- row constructors ----------------------------------------------------
+
+def make_warehouse(w: int) -> dict:
+    return {"w_id": w, "name": f"WH{w}", "tax": 0.05 + (w % 10) * 0.005,
+            "ytd": 300_000.0}
+
+
+def make_district(w: int, d: int) -> dict:
+    return {"w_id": w, "d_id": d, "tax": 0.04 + (d % 10) * 0.005,
+            "ytd": 30_000.0, "next_o_id": 1}
+
+
+def make_customer(w: int, d: int, c: int) -> dict:
+    return {"w_id": w, "d_id": d, "c_id": c,
+            "credit": "BC" if c % 10 == 0 else "GC",
+            "balance": -10.0, "ytd_payment": 10.0,
+            "payment_cnt": 1, "delivery_cnt": 0,
+            "discount": (c % 50) / 100.0,
+            "data": f"customer-{w}-{d}-{c}"}
+
+
+def make_stock(w: int, i: int) -> dict:
+    return {"w_id": w, "i_id": i, "quantity": 50 + (i % 50),
+            "ytd": 0, "order_cnt": 0, "remote_cnt": 0}
+
+
+def make_item(i: int) -> dict:
+    return {"i_id": i, "name": f"item-{i}", "price": 1.0 + (i % 100) / 10.0,
+            "data": "ORIGINAL" if i % 10 == 0 else f"data-{i}"}

@@ -1,0 +1,204 @@
+"""The five TPC-C transactions as independent stored procedures.
+
+Every procedure runs unchanged on each participant shard, touching only
+the keys that shard owns (``ctx.owns``); the partitioning guarantees
+the pieces compose into the full transaction:
+
+- **new_order** — the home shard consumes the district's next order id
+  and inserts the order/order-line/new-order rows; each supply shard
+  updates its own stock rows; the 1% invalid-item abort is decided from
+  the generator-provided flag (derived from the replicated item table),
+  identically everywhere.
+- **payment** — home shard updates warehouse and district YTD; the
+  customer's shard (possibly remote) updates the customer row.
+- **order_status** — read-only, home shard.
+- **delivery** — per-district oldest undelivered order, home shard.
+- **stock_level** — read-only join over recent order lines and stock,
+  home shard.
+"""
+
+from __future__ import annotations
+
+from repro.store.kv import MISSING
+from repro.store.procedures import ProcedureRegistry, TxnContext
+from repro.workloads.tpcc.schema import (
+    customer_key,
+    customer_last_order_key,
+    delivery_cursor_key,
+    district_key,
+    item_key,
+    new_order_key,
+    order_key,
+    order_line_key,
+    stock_key,
+    warehouse_key,
+)
+
+
+def new_order(ctx: TxnContext, args: dict) -> dict:
+    w = args["w_id"]
+    d = args["d_id"]
+    c = args["c_id"]
+    items = args["items"]  # tuple of (i_id, supply_w_id, quantity)
+    if args.get("invalid_item"):
+        # Decided from the (replicated) item table: deterministic and
+        # identical on every participant — safe for independent txns.
+        ctx.abort("invalid item id")
+    result: dict = {}
+    home_district = district_key(w, d)
+    if ctx.owns(home_district):
+        district = dict(ctx.get(home_district))
+        o_id = district["next_o_id"]
+        district["next_o_id"] = o_id + 1
+        ctx.put(home_district, district)
+        warehouse = ctx.get(warehouse_key(w))
+        customer = ctx.get(customer_key(w, d, c))
+        total = 0.0
+        all_local = all(supply_w == w for _, supply_w, _ in items)
+        for number, (i_id, supply_w, quantity) in enumerate(items):
+            item = ctx.get(item_key(i_id))
+            amount = item["price"] * quantity
+            total += amount
+            ctx.put(order_line_key(w, d, o_id, number), {
+                "i_id": i_id, "supply_w_id": supply_w,
+                "quantity": quantity, "amount": amount,
+            })
+        total *= (1.0 - customer["discount"]) \
+            * (1.0 + warehouse["tax"] + district["tax"])
+        ctx.put(order_key(w, d, o_id), {
+            "c_id": c, "entry_d": args["entry_d"], "carrier_id": None,
+            "ol_cnt": len(items), "all_local": all_local,
+        })
+        ctx.put(new_order_key(w, d, o_id), 1)
+        ctx.put(customer_last_order_key(w, d, c), o_id)
+        result = {"o_id": o_id, "total": round(total, 2)}
+    for i_id, supply_w, quantity in items:
+        skey = stock_key(supply_w, i_id)
+        if not ctx.owns(skey):
+            continue
+        stock = dict(ctx.get(skey))
+        if stock["quantity"] - quantity >= 10:
+            stock["quantity"] -= quantity
+        else:
+            stock["quantity"] = stock["quantity"] - quantity + 91
+        stock["ytd"] += quantity
+        stock["order_cnt"] += 1
+        if supply_w != w:
+            stock["remote_cnt"] += 1
+        ctx.put(skey, stock)
+    return result
+
+
+def payment(ctx: TxnContext, args: dict) -> dict:
+    w = args["w_id"]
+    d = args["d_id"]
+    amount = args["amount"]
+    result: dict = {}
+    wkey = warehouse_key(w)
+    if ctx.owns(wkey):
+        warehouse = dict(ctx.get(wkey))
+        warehouse["ytd"] += amount
+        ctx.put(wkey, warehouse)
+        dkey = district_key(w, d)
+        district = dict(ctx.get(dkey))
+        district["ytd"] += amount
+        ctx.put(dkey, district)
+    ckey = customer_key(args["c_w_id"], args["c_d_id"], args["c_id"])
+    if ctx.owns(ckey):
+        customer = dict(ctx.get(ckey))
+        customer["balance"] -= amount
+        customer["ytd_payment"] += amount
+        customer["payment_cnt"] += 1
+        if customer["credit"] == "BC":
+            customer["data"] = (f"{args['c_id']}|{w}|{d}|{amount}|"
+                                + customer["data"])[:500]
+        ctx.put(ckey, customer)
+        result = {"balance": customer["balance"]}
+    return result
+
+
+def order_status(ctx: TxnContext, args: dict) -> dict:
+    w = args["w_id"]
+    d = args["d_id"]
+    c = args["c_id"]
+    if not ctx.owns(customer_key(w, d, c)):
+        return {}
+    customer = ctx.get(customer_key(w, d, c))
+    o_id = ctx.get(customer_last_order_key(w, d, c))
+    if o_id is MISSING:
+        return {"balance": customer["balance"], "order": None}
+    order = ctx.get(order_key(w, d, o_id))
+    lines = []
+    for number in range(order["ol_cnt"]):
+        line = ctx.get(order_line_key(w, d, o_id, number))
+        if line is not MISSING:
+            lines.append(line)
+    return {"balance": customer["balance"], "order": o_id,
+            "carrier_id": order["carrier_id"], "lines": len(lines)}
+
+
+def delivery(ctx: TxnContext, args: dict) -> dict:
+    """Deliver the oldest undelivered order in each district."""
+    w = args["w_id"]
+    carrier = args["carrier_id"]
+    delivered = []
+    if not ctx.owns(warehouse_key(w)):
+        return {}
+    for d in range(args["n_districts"]):
+        cursor_key = delivery_cursor_key(w, d)
+        cursor = ctx.get(cursor_key)
+        o_id = 1 if cursor is MISSING else cursor
+        no_key = new_order_key(w, d, o_id)
+        if ctx.get(no_key) is MISSING:
+            continue  # nothing undelivered in this district
+        ctx.delete(no_key)
+        ctx.put(cursor_key, o_id + 1)
+        order = dict(ctx.get(order_key(w, d, o_id)))
+        order["carrier_id"] = carrier
+        ctx.put(order_key(w, d, o_id), order)
+        total = 0.0
+        for number in range(order["ol_cnt"]):
+            line = ctx.get(order_line_key(w, d, o_id, number))
+            if line is not MISSING:
+                total += line["amount"]
+        ckey = customer_key(w, d, order["c_id"])
+        customer = dict(ctx.get(ckey))
+        customer["balance"] += total
+        customer["delivery_cnt"] += 1
+        ctx.put(ckey, customer)
+        delivered.append((d, o_id))
+    return {"delivered": delivered}
+
+
+def stock_level(ctx: TxnContext, args: dict) -> dict:
+    """Count recently-ordered items with stock below a threshold."""
+    w = args["w_id"]
+    d = args["d_id"]
+    threshold = args["threshold"]
+    if not ctx.owns(district_key(w, d)):
+        return {}
+    district = ctx.get(district_key(w, d))
+    next_o = district["next_o_id"]
+    item_ids = set()
+    for o_id in range(max(1, next_o - 20), next_o):
+        order = ctx.get(order_key(w, d, o_id))
+        if order is MISSING:
+            continue
+        for number in range(order["ol_cnt"]):
+            line = ctx.get(order_line_key(w, d, o_id, number))
+            if line is not MISSING:
+                item_ids.add(line["i_id"])
+    low = 0
+    for i_id in item_ids:
+        stock = ctx.get(stock_key(w, i_id))
+        if stock is not MISSING and stock["quantity"] < threshold:
+            low += 1
+    return {"low_stock": low}
+
+
+def register_tpcc_procedures(registry: ProcedureRegistry) -> None:
+    registry.register("tpcc_new_order", new_order)
+    registry.register("tpcc_payment", payment)
+    registry.register("tpcc_order_status", order_status)
+    registry.register("tpcc_delivery", delivery)
+    registry.register("tpcc_stock_level", stock_level)

@@ -1,0 +1,63 @@
+"""Zipfian key selection, YCSB-style.
+
+Implements the Gray et al. "Quickly generating billion-record synthetic
+databases" zipfian generator used by YCSB, parameterized by the Zipf
+exponent theta in [0, 1). theta=0 degenerates to uniform; the Figure
+8/10 sweeps run theta from 0.5 toward 1.0 (values >= 1 are clamped just
+below, where the closed form remains valid — the same approach YCSB's
+scrambled generator takes).
+"""
+
+from __future__ import annotations
+
+from repro.sim.randomness import SplitRandom
+
+_MAX_THETA = 0.9999
+
+
+class ZipfGenerator:
+    """Draws ranks in [0, n) with P(rank=k) proportional to 1/(k+1)^theta."""
+
+    def __init__(self, n: int, theta: float, rng: SplitRandom):
+        if n <= 0:
+            raise ValueError(f"need a positive key space, got {n}")
+        if theta < 0:
+            raise ValueError(f"theta must be non-negative, got {theta}")
+        self.n = n
+        self.theta = min(theta, _MAX_THETA)
+        self._rng = rng
+        if self.theta == 0.0:
+            self._uniform = True
+            return
+        self._uniform = False
+        self._zetan = self._zeta(n, self.theta)
+        self._alpha = 1.0 / (1.0 - self.theta)
+        denominator = 1.0 - self._zeta(2, self.theta) / self._zetan
+        # With n == 2 the draw always lands in the first two branches of
+        # next(), so eta is never consulted; any finite value works.
+        self._eta = (0.0 if denominator == 0.0 else
+                     (1.0 - (2.0 / n) ** (1.0 - self.theta)) / denominator)
+        self._half_pow_theta = 1.0 + 0.5 ** self.theta
+
+    @staticmethod
+    def _zeta(n: int, theta: float) -> float:
+        return sum(1.0 / (i ** theta) for i in range(1, n + 1))
+
+    def next(self) -> int:
+        if self._uniform:
+            return self._rng.randrange(self.n)
+        u = self._rng.random()
+        uz = u * self._zetan
+        if uz < 1.0:
+            return 0
+        if uz < self._half_pow_theta:
+            return 1
+        return int(self.n * (self._eta * u - self._eta + 1.0) ** self._alpha)
+
+    def next_distinct_pair(self) -> tuple[int, int]:
+        """Two distinct ranks (for two-key transactions)."""
+        first = self.next()
+        second = self.next()
+        while second == first:
+            second = self.next()
+        return first, second

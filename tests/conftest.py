@@ -1,0 +1,58 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import ClusterConfig, build_cluster
+from repro.net.network import NetConfig
+from repro.sim.event_loop import EventLoop
+from repro.sim.randomness import SplitRandom
+from repro.store import ProcedureRegistry
+from repro.workloads import Partitioner, register_ycsb_procedures
+from repro.workloads.ycsb import load_ycsb
+
+
+@pytest.fixture
+def loop() -> EventLoop:
+    return EventLoop()
+
+
+@pytest.fixture
+def rng() -> SplitRandom:
+    return SplitRandom(1234)
+
+
+def make_ycsb_cluster(system: str = "eris", n_shards: int = 2,
+                      n_replicas: int = 3, n_keys: int = 200,
+                      seed: int = 1, drop_rate: float = 0.0,
+                      **config_kwargs):
+    """A small cluster with YCSB procedures registered and keys loaded."""
+    registry = ProcedureRegistry()
+    register_ycsb_procedures(registry)
+    partitioner = Partitioner(n_shards)
+    config = ClusterConfig(system=system, n_shards=n_shards,
+                           n_replicas=n_replicas, seed=seed,
+                           net=NetConfig(drop_rate=drop_rate),
+                           **config_kwargs)
+    cluster = build_cluster(
+        config, registry, partitioner,
+        loader=lambda stores, p: load_ycsb(stores, p, n_keys))
+    return cluster
+
+
+def submit_and_wait(cluster, client, op, timeout: float = 0.5):
+    """Submit one op on a SystemClient and drive the loop until done."""
+    results = []
+    client.submit(op, results.append)
+    deadline = cluster.loop.now + timeout
+    while not results and cluster.loop.now < deadline:
+        cluster.loop.run(until=min(deadline, cluster.loop.now + 1e-3))
+        if cluster.loop.pending == 0 and not results:
+            break
+    assert results, "operation did not complete in time"
+    return results[0]
+
+
+def drive(cluster, duration: float) -> None:
+    cluster.loop.run(until=cluster.loop.now + duration)

@@ -1,0 +1,80 @@
+"""Tests for the command-line experiment runner and CSV export."""
+
+import csv
+
+import pytest
+
+from repro.harness.cli import build_parser, main, run
+from repro.harness.results import write_csv
+
+
+def test_parser_defaults():
+    args = build_parser().parse_args([])
+    assert args.system == "eris"
+    assert args.workload == "srw"
+    assert args.shards == 3
+
+
+def test_parser_rejects_unknown_system():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["--system", "mystery"])
+
+
+def test_list_systems(capsys):
+    assert main(["--list-systems"]) == 0
+    out = capsys.readouterr().out
+    assert "eris" in out and "lockstore" in out
+
+
+def test_run_srw_small(capsys):
+    code = main(["--system", "eris", "--workload", "srw",
+                 "--shards", "2", "--clients", "5", "--keys", "100",
+                 "--warmup", "0.002", "--duration", "0.005"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "txn/s" in out and "eris" in out
+
+
+def test_run_returns_result_object():
+    args = build_parser().parse_args(
+        ["--system", "ntur", "--workload", "mrmw", "--distributed", "0.5",
+         "--shards", "2", "--clients", "5", "--keys", "100",
+         "--warmup", "0.002", "--duration", "0.005"])
+    cluster, result = run(args)
+    assert result.committed > 0
+    assert cluster.config.system == "ntur"
+
+
+def test_run_tpcc_small():
+    args = build_parser().parse_args(
+        ["--workload", "tpcc", "--warehouses", "2", "--shards", "2",
+         "--clients", "5", "--warmup", "0.002", "--duration", "0.005"])
+    cluster, result = run(args)
+    assert result.committed > 0   # new-order commits only
+
+
+def test_csv_export(tmp_path, capsys):
+    target = tmp_path / "out.csv"
+    code = main(["--system", "ntur", "--shards", "2", "--clients", "4",
+                 "--keys", "100", "--warmup", "0.002",
+                 "--duration", "0.004", "--csv", str(target)])
+    assert code == 0
+    rows = list(csv.reader(open(target)))
+    assert rows[0][0] == "system"
+    assert rows[1][0] == "ntur"
+
+
+def test_write_csv_append_keeps_single_header(tmp_path):
+    target = tmp_path / "sweep.csv"
+    write_csv(str(target), ["a", "b"], [[1, 2]], append=True)
+    write_csv(str(target), ["a", "b"], [[3, 4]], append=True)
+    rows = list(csv.reader(open(target)))
+    assert rows == [["a", "b"], ["1", "2"], ["3", "4"]]
+
+
+def test_write_csv_overwrite(tmp_path):
+    target = tmp_path / "fresh.csv"
+    write_csv(str(target), ["x"], [[1]])
+    write_csv(str(target), ["x"], [[2]])
+    rows = list(csv.reader(open(target)))
+    assert rows == [["x"], ["2"]]

@@ -1,0 +1,152 @@
+"""Unit tests for the Eris client's quorum logic, driven with
+hand-crafted TxnReply messages (no replicas)."""
+
+import pytest
+
+from repro.core.client import ErisClient
+from repro.core.messages import TxnReply
+from repro.net.network import NetConfig, Network
+from repro.sim.event_loop import EventLoop
+
+
+def build_client(n_replicas=3, shards=(0, 1)):
+    loop = EventLoop()
+    net = Network(loop, NetConfig(jitter=0.0))
+    client = ErisClient("c", net, {s: n_replicas for s in shards},
+                        retry_timeout=5e-3)
+    return loop, client
+
+
+def reply(txn_id, shard, idx, index=1, view=0, epoch=1, committed=True,
+          result=None, n=3):
+    return TxnReply(txn_id=txn_id, txn_index=index, view_num=view,
+                    epoch_num=epoch, shard=shard, replica_index=idx,
+                    is_dl=(idx == view % n), committed=committed,
+                    result=result)
+
+
+def submit(client, participants=(0,)):
+    outcomes = []
+    txn_id = client.submit("p", {}, participants, outcomes.append)
+    return txn_id, outcomes
+
+
+def test_quorum_needs_majority_including_dl():
+    loop, client = build_client()
+    txn_id, outcomes = submit(client)
+    client.on_TxnReply("r1", reply(txn_id, 0, 1), None)
+    client.on_TxnReply("r2", reply(txn_id, 0, 2), None)
+    assert not outcomes          # majority but no DL
+    client.on_TxnReply("r0", reply(txn_id, 0, 0, result="R"), None)
+    assert outcomes and outcomes[0].committed
+    assert outcomes[0].results[0] == "R"
+
+
+def test_dl_alone_is_not_quorum():
+    loop, client = build_client()
+    txn_id, outcomes = submit(client)
+    client.on_TxnReply("r0", reply(txn_id, 0, 0), None)
+    assert not outcomes
+
+
+def test_mismatched_indices_do_not_combine():
+    loop, client = build_client()
+    txn_id, outcomes = submit(client)
+    client.on_TxnReply("r0", reply(txn_id, 0, 0, index=1), None)
+    client.on_TxnReply("r1", reply(txn_id, 0, 1, index=2), None)
+    assert not outcomes          # replies disagree on the log slot
+    client.on_TxnReply("r2", reply(txn_id, 0, 2, index=1), None)
+    assert outcomes              # r0 + r2 match (incl DL)
+
+
+def test_mismatched_views_do_not_combine():
+    loop, client = build_client()
+    txn_id, outcomes = submit(client)
+    client.on_TxnReply("r0", reply(txn_id, 0, 0, view=0), None)
+    client.on_TxnReply("r1", reply(txn_id, 0, 1, view=1), None)
+    client.on_TxnReply("r2", reply(txn_id, 0, 2, view=2), None)
+    assert not outcomes
+
+
+def test_quorum_in_later_view_accepted():
+    """After a view change the DL is replica view%n; a quorum formed
+    entirely in the new view must satisfy."""
+    loop, client = build_client()
+    txn_id, outcomes = submit(client)
+    client.on_TxnReply("r1", reply(txn_id, 0, 1, view=1), None)  # new DL
+    client.on_TxnReply("r2", reply(txn_id, 0, 2, view=1), None)
+    assert outcomes
+
+
+def test_all_participants_must_reach_quorum():
+    loop, client = build_client()
+    txn_id, outcomes = submit(client, participants=(0, 1))
+    for idx in range(3):
+        client.on_TxnReply(f"r{idx}", reply(txn_id, 0, idx), None)
+    assert not outcomes          # shard 1 still missing
+    for idx in range(3):
+        client.on_TxnReply(f"s{idx}", reply(txn_id, 1, idx), None)
+    assert outcomes
+
+
+def test_any_shard_abort_vote_marks_uncommitted():
+    loop, client = build_client()
+    txn_id, outcomes = submit(client, participants=(0, 1))
+    for idx in range(3):
+        client.on_TxnReply(f"r{idx}", reply(txn_id, 0, idx), None)
+    for idx in range(3):
+        client.on_TxnReply(f"s{idx}",
+                           reply(txn_id, 1, idx, committed=False), None)
+    assert outcomes and not outcomes[0].committed
+
+
+def test_duplicate_replies_ignored():
+    loop, client = build_client()
+    txn_id, outcomes = submit(client)
+    message = reply(txn_id, 0, 0)
+    client.on_TxnReply("r0", message, None)
+    client.on_TxnReply("r0", message, None)
+    assert not outcomes          # one replica cannot vote twice
+
+
+def test_replies_for_unknown_txn_ignored():
+    loop, client = build_client()
+    from repro.core.transaction import TxnId
+    client.on_TxnReply("r0", reply(TxnId("c", 999), 0, 0), None)
+    assert client.inflight == 0
+
+
+def test_retry_timer_retransmits_until_exhausted():
+    loop, client = build_client()
+    client.max_retries = 3
+    outcomes = []
+    client.submit("p", {}, (0,), outcomes.append)
+    sent_before = client.network.packets_sent
+    loop.run(until=0.1)
+    assert client.network.packets_sent > sent_before   # retransmissions
+    assert outcomes and not outcomes[0].committed      # gave up
+    assert outcomes[0].retries == 4
+    assert client.inflight == 0
+
+
+def test_late_replies_after_completion_ignored():
+    loop, client = build_client()
+    txn_id, outcomes = submit(client)
+    for idx in range(3):
+        client.on_TxnReply(f"r{idx}", reply(txn_id, 0, idx), None)
+    assert len(outcomes) == 1
+    client.on_TxnReply("r1", reply(txn_id, 0, 1), None)
+    assert len(outcomes) == 1
+
+
+def test_committed_and_aborted_counters():
+    loop, client = build_client()
+    txn_id, _ = submit(client)
+    for idx in range(3):
+        client.on_TxnReply(f"r{idx}", reply(txn_id, 0, idx), None)
+    txn_id2, _ = submit(client)
+    for idx in range(3):
+        client.on_TxnReply(f"r{idx}",
+                           reply(txn_id2, 0, idx, committed=False), None)
+    assert client.committed_count == 1
+    assert client.aborted_count == 1

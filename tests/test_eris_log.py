@@ -1,0 +1,107 @@
+"""Unit tests for the Eris replica log and view-change merge."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.log import ErisLog, LogEntry, merge_logs
+from repro.core.messages import TxnRecord
+from repro.core.transaction import IndependentTransaction, SlotId, TxnId
+from repro.net.message import MultiStamp
+
+
+def record(shard_seqs: dict, epoch=1, name="t"):
+    txn = IndependentTransaction(
+        txn_id=TxnId(client=name, seq=1), proc="p", args={},
+        participants=tuple(sorted(shard_seqs)))
+    stamp = MultiStamp(epoch=epoch,
+                       stamps=tuple(sorted(shard_seqs.items())))
+    return TxnRecord(txn=txn, multistamp=stamp)
+
+
+def test_append_assigns_sequential_indexes():
+    log = ErisLog(0)
+    e1 = log.append_txn(SlotId(0, 1, 1), record({0: 1}))
+    e2 = log.append_noop(SlotId(0, 1, 2))
+    assert (e1.index, e2.index) == (1, 2)
+    assert log.last_index == 2
+    assert log.get(1) is e1
+    assert log.get(3) is None
+
+
+def test_find_slot_and_stamped():
+    log = ErisLog(0)
+    log.append_txn(SlotId(0, 1, 1), record({0: 1, 2: 7}))
+    assert log.find_slot(SlotId(0, 1, 1)) is not None
+    assert log.find_slot(SlotId(0, 1, 2)) is None
+    # Cross-shard lookup via the multi-stamp: shard 2's seq 7.
+    assert log.find_stamped(SlotId(2, 1, 7)) is not None
+    assert log.find_stamped(SlotId(2, 1, 8)) is None
+    assert log.find_stamped(SlotId(2, 2, 7)) is None  # wrong epoch
+
+
+def test_last_seq_per_epoch():
+    log = ErisLog(0)
+    log.append_txn(SlotId(0, 1, 1), record({0: 1}))
+    log.append_txn(SlotId(0, 1, 2), record({0: 2}))
+    log.append_txn(SlotId(0, 2, 1), record({0: 1}, epoch=2))
+    assert log.last_seq(1) == 2
+    assert log.last_seq(2) == 1
+    assert log.last_seq(3) == 0
+
+
+def test_replace_reindexes():
+    log = ErisLog(0)
+    entries = [LogEntry(index=99, slot=SlotId(0, 1, s), kind="noop",
+                        record=None) for s in (1, 2, 3)]
+    log.replace(entries)
+    assert [e.index for e in log.entries()] == [1, 2, 3]
+    assert log.find_slot(SlotId(0, 1, 2)).kind == "noop"
+
+
+def test_overwrite_noop_updates_index():
+    log = ErisLog(0)
+    log.append_txn(SlotId(0, 1, 1), record({0: 1}))
+    log.overwrite_noop(1)
+    assert log.get(1).is_noop
+    assert log.find_slot(SlotId(0, 1, 1)).is_noop
+
+
+def test_merge_takes_longest_log():
+    short = (LogEntry(1, SlotId(0, 1, 1), "txn", record({0: 1})),)
+    long = short + (LogEntry(2, SlotId(0, 1, 2), "txn", record({0: 2})),)
+    merged = merge_logs([short, long], frozenset())
+    assert len(merged) == 2
+
+
+def test_merge_applies_perm_drops_via_stamps():
+    # The entry's own slot is (0,1,2) but its stamp also covers shard
+    # 3 seq 9 — dropping either slot must NO-OP the entry.
+    entry = LogEntry(1, SlotId(0, 1, 2), "txn", record({0: 2, 3: 9}))
+    merged = merge_logs([(entry,)], frozenset({SlotId(3, 1, 9)}))
+    assert merged[0].is_noop
+    merged2 = merge_logs([(entry,)], frozenset({SlotId(0, 1, 2)}))
+    assert merged2[0].is_noop
+    merged3 = merge_logs([(entry,)], frozenset({SlotId(0, 1, 3)}))
+    assert not merged3[0].is_noop
+
+
+def test_merge_empty():
+    assert merge_logs([], frozenset()) == []
+    assert merge_logs([()], frozenset()) == []
+
+
+# -- property: merge keeps the longest prefix intact ---------------------
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(min_value=0, max_value=10),
+       st.integers(min_value=0, max_value=10))
+def test_merge_is_prefix_preserving(len_a, len_b):
+    def build(n):
+        return tuple(LogEntry(i + 1, SlotId(0, 1, i + 1), "txn",
+                              record({0: i + 1})) for i in range(n))
+    a, b = build(len_a), build(len_b)
+    merged = merge_logs([a, b], frozenset())
+    assert len(merged) == max(len_a, len_b)
+    for i, entry in enumerate(merged):
+        assert entry.slot.seq == i + 1
+        assert entry.index == i + 1

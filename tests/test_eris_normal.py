@@ -1,0 +1,160 @@
+"""Integration tests: Eris normal-case protocol (§6.2) and sync (§6.6)."""
+
+import pytest
+
+from repro.baselines.common import WorkloadOp
+from repro.core.replica import ErisReplica
+from repro.harness.checkers import run_all_checks
+from repro.store.kv import MISSING
+
+from conftest import drive, make_ycsb_cluster, submit_and_wait
+
+
+def rmw_op(keys, partitioner):
+    return WorkloadOp(proc="ycsb_rmw", args={"keys": tuple(keys)},
+                      participants=partitioner.participants_for(keys),
+                      read_keys=frozenset(keys), write_keys=frozenset(keys))
+
+
+def read_op(key, partitioner):
+    return WorkloadOp(proc="ycsb_read", args={"key": key},
+                      participants=(partitioner.shard_of(key),),
+                      read_keys=frozenset([key]))
+
+
+def test_single_shard_txn_commits_in_one_round_trip():
+    cluster = make_ycsb_cluster()
+    client = cluster.make_client()
+    op = read_op(4, cluster.partitioner)
+    result = submit_and_wait(cluster, client, op)
+    assert result.committed
+    assert result.retries == 0
+    # One round trip: client->sequencer->replicas->client, well under
+    # a millisecond at 10us hops.
+    assert result.latency < 200e-6
+
+
+def test_no_server_to_server_messages_in_normal_case():
+    cluster = make_ycsb_cluster()
+    client = cluster.make_client()
+    # Replica-to-replica traffic in a healthy run is only the periodic
+    # sync protocol; peer/FC recovery should never fire.
+    result = submit_and_wait(cluster, client,
+                             rmw_op([1, 2], cluster.partitioner))
+    assert result.committed
+    for replicas in cluster.replicas.values():
+        for replica in replicas:
+            assert replica.drops_escalated_to_fc == 0
+            assert replica.drops_recovered_from_peer == 0
+
+
+def test_multi_shard_txn_executes_on_both_shards():
+    cluster = make_ycsb_cluster(n_shards=2)
+    client = cluster.make_client()
+    keys = [0, 1]  # key i lives on shard i % 2
+    op = rmw_op(keys, cluster.partitioner)
+    assert op.participants == (0, 1)
+    result = submit_and_wait(cluster, client, op)
+    assert result.committed
+    assert cluster.authoritative_store(0).get(0) == 1
+    assert cluster.authoritative_store(1).get(1) == 1
+
+
+def test_only_dl_returns_results():
+    cluster = make_ycsb_cluster()
+    client = cluster.make_client()
+    result = submit_and_wait(cluster, client, read_op(2, cluster.partitioner))
+    shard = cluster.partitioner.shard_of(2)
+    assert result.result[shard] == {2: 0}
+
+
+def test_many_txns_keep_consistent_cross_shard_order():
+    cluster = make_ycsb_cluster(n_shards=3)
+    clients = [cluster.make_client() for _ in range(5)]
+    done = []
+    for i in range(60):
+        keys = [i % 7, 7 + (i % 5)]
+        clients[i % 5].submit(rmw_op(keys, cluster.partitioner), done.append)
+    drive(cluster, 0.1)
+    assert len(done) == 60
+    assert all(r.committed for r in done)
+    run_all_checks(cluster)
+
+
+def test_sync_makes_replicas_execute():
+    cluster = make_ycsb_cluster()
+    client = cluster.make_client()
+    submit_and_wait(cluster, client,
+                    WorkloadOp(proc="ycsb_write",
+                               args={"key": 3, "value": 77},
+                               participants=(cluster.partitioner.shard_of(3),),
+                               write_keys=frozenset([3])))
+    drive(cluster, 0.05)  # several sync intervals
+    shard = cluster.partitioner.shard_of(3)
+    for replica in cluster.replicas[shard]:
+        assert replica.store.get(3) == 77
+
+
+def test_at_most_once_despite_client_retries():
+    cluster = make_ycsb_cluster()
+    # Force the client's first attempt to be invisible to the replicas
+    # by dropping all groupcast packets briefly.
+    cluster.network.drop_filter = \
+        lambda pkt: pkt.multistamp is not None and cluster.loop.now < 1e-3
+    client = cluster.make_client()
+    op = rmw_op([5], cluster.partitioner)
+    result = submit_and_wait(cluster, client, op)
+    assert result.committed
+    assert result.retries >= 1
+    shard = cluster.partitioner.shard_of(5)
+    assert cluster.authoritative_store(shard).get(5) == 1  # exactly once
+
+
+def test_deterministic_abort_reported_uncommitted():
+    cluster = make_ycsb_cluster()
+    from repro.store.procedures import TxnContext
+
+    def aborting(ctx: TxnContext, args):
+        ctx.abort("always fails")
+
+    cluster.registry.register("aborting", aborting)
+    client = cluster.make_client()
+    op = WorkloadOp(proc="aborting", args={}, participants=(0,))
+    result = submit_and_wait(cluster, client, op)
+    assert not result.committed
+
+
+def test_recon_read_returns_current_value():
+    cluster = make_ycsb_cluster()
+    client = cluster.make_client()
+    shard = cluster.partitioner.shard_of(9)
+    dl = next(r for r in cluster.replicas[shard] if r.is_dl)
+    got = []
+    client.node.recon(dl.address, 9, lambda k, v: got.append((k, v)))
+    drive(cluster, 0.01)
+    assert got == [(9, 0)]
+
+
+def test_txn_replies_carry_matching_view_and_epoch():
+    cluster = make_ycsb_cluster()
+    client = cluster.make_client()
+    result = submit_and_wait(cluster, client, read_op(1, cluster.partitioner))
+    assert result.committed
+    for replicas in cluster.replicas.values():
+        for replica in replicas:
+            assert replica.view_num == 0
+            assert replica.epoch_num == 1
+            assert replica.status == "normal"
+
+
+def test_logs_identical_across_replicas_after_quiesce():
+    cluster = make_ycsb_cluster(n_shards=2)
+    client = cluster.make_client()
+    for i in range(20):
+        submit_and_wait(cluster, client, rmw_op([i, i + 1],
+                                                cluster.partitioner))
+    drive(cluster, 0.05)
+    run_all_checks(cluster)
+    for replicas in cluster.replicas.values():
+        lens = {len(r.log) for r in replicas}
+        assert len(lens) == 1

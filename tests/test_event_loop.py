@@ -1,0 +1,141 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.event_loop import EventLoop
+
+
+def test_events_run_in_time_order():
+    loop = EventLoop()
+    order = []
+    loop.schedule(3e-3, order.append, "c")
+    loop.schedule(1e-3, order.append, "a")
+    loop.schedule(2e-3, order.append, "b")
+    loop.run_until_idle()
+    assert order == ["a", "b", "c"]
+
+
+def test_ties_break_by_schedule_order():
+    loop = EventLoop()
+    order = []
+    for tag in range(5):
+        loop.schedule(1e-3, order.append, tag)
+    loop.run_until_idle()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_now_advances_to_event_time():
+    loop = EventLoop()
+    seen = []
+    loop.schedule(5e-3, lambda: seen.append(loop.now))
+    loop.run_until_idle()
+    assert seen == [pytest.approx(5e-3)]
+
+
+def test_run_until_stops_before_later_events():
+    loop = EventLoop()
+    fired = []
+    loop.schedule(1e-3, fired.append, "early")
+    loop.schedule(10e-3, fired.append, "late")
+    loop.run(until=5e-3)
+    assert fired == ["early"]
+    assert loop.now == pytest.approx(5e-3)
+    loop.run_until_idle()
+    assert fired == ["early", "late"]
+
+
+def test_cancel_prevents_execution():
+    loop = EventLoop()
+    fired = []
+    event = loop.schedule(1e-3, fired.append, "x")
+    loop.cancel(event)
+    loop.run_until_idle()
+    assert fired == []
+
+
+def test_cancel_twice_is_harmless():
+    loop = EventLoop()
+    event = loop.schedule(1e-3, lambda: None)
+    loop.cancel(event)
+    loop.cancel(event)
+    loop.run_until_idle()
+
+
+def test_negative_delay_rejected():
+    loop = EventLoop()
+    with pytest.raises(SimulationError):
+        loop.schedule(-1.0, lambda: None)
+
+
+def test_schedule_in_the_past_rejected():
+    loop = EventLoop()
+    loop.schedule(1e-3, lambda: None)
+    loop.run_until_idle()
+    with pytest.raises(SimulationError):
+        loop.schedule_at(0.0, lambda: None)
+
+
+def test_events_scheduled_during_run_execute():
+    loop = EventLoop()
+    order = []
+
+    def first():
+        order.append("first")
+        loop.schedule(1e-3, order.append, "second")
+
+    loop.schedule(1e-3, first)
+    loop.run_until_idle()
+    assert order == ["first", "second"]
+
+
+def test_run_until_idle_detects_livelock():
+    loop = EventLoop()
+
+    def forever():
+        loop.schedule(1e-6, forever)
+
+    loop.schedule(0.0, forever)
+    with pytest.raises(SimulationError):
+        loop.run_until_idle(max_events=1000)
+
+
+def test_max_events_bounds_run():
+    loop = EventLoop()
+    count = []
+    for _ in range(10):
+        loop.schedule(1e-3, count.append, 1)
+    loop.run(max_events=4)
+    assert len(count) == 4
+
+
+def test_pending_counts_uncancelled():
+    loop = EventLoop()
+    kept = loop.schedule(1e-3, lambda: None)
+    cancelled = loop.schedule(2e-3, lambda: None)
+    loop.cancel(cancelled)
+    assert loop.pending == 1
+    assert kept is not None
+
+
+def test_run_not_reentrant():
+    loop = EventLoop()
+    failures = []
+
+    def reenter():
+        try:
+            loop.run()
+        except SimulationError:
+            failures.append(True)
+
+    loop.schedule(1e-3, reenter)
+    loop.run_until_idle()
+    assert failures == [True]
+
+
+def test_events_processed_counter():
+    loop = EventLoop()
+    for _ in range(7):
+        loop.schedule(1e-3, lambda: None)
+    loop.run_until_idle()
+    assert loop.events_processed == 7

@@ -1,0 +1,74 @@
+"""Unit tests for the closed-loop experiment driver itself."""
+
+import pytest
+
+from repro.harness import ExperimentConfig, run_experiment
+from repro.sim.randomness import SplitRandom
+from repro.workloads import YCSBConfig, YCSBWorkload
+
+from conftest import make_ycsb_cluster
+
+
+def make_workload(cluster, **kwargs):
+    defaults = dict(workload="srw", n_keys=200)
+    defaults.update(kwargs)
+    return YCSBWorkload(YCSBConfig(**defaults), cluster.partitioner,
+                        SplitRandom(9))
+
+
+def test_warmup_excluded_from_measurements():
+    cluster = make_ycsb_cluster(n_keys=200)
+    workload = make_workload(cluster)
+    result = run_experiment(cluster, workload, ExperimentConfig(
+        n_clients=5, warmup=10e-3, duration=10e-3, drain=2e-3))
+    # Committed counts only the window; clients ran during warmup too.
+    total = sum(c.node.committed_count for c in cluster._clients)
+    assert result.committed < total
+
+
+def test_more_clients_more_throughput_until_saturation():
+    light = run_experiment(
+        make_ycsb_cluster(n_keys=500, seed=5),
+        make_workload(make_ycsb_cluster(n_keys=500, seed=5), n_keys=500),
+        ExperimentConfig(n_clients=4, warmup=2e-3, duration=8e-3))
+    cluster = make_ycsb_cluster(n_keys=500, seed=5)
+    heavy = run_experiment(
+        cluster, make_workload(cluster, n_keys=500),
+        ExperimentConfig(n_clients=40, warmup=2e-3, duration=8e-3))
+    assert heavy.throughput > 2 * light.throughput
+
+
+def test_closed_loop_clients_stop_at_window_end():
+    cluster = make_ycsb_cluster(n_keys=200)
+    workload = make_workload(cluster)
+    run_experiment(cluster, workload, ExperimentConfig(
+        n_clients=5, warmup=2e-3, duration=5e-3, drain=50e-3))
+    # After the drain every client is idle: nothing left in flight.
+    assert all(c.node.inflight == 0 for c in cluster._clients)
+
+
+def test_latency_percentiles_ordered():
+    cluster = make_ycsb_cluster(n_keys=200)
+    result = run_experiment(cluster, make_workload(cluster),
+                            ExperimentConfig(n_clients=20, warmup=2e-3,
+                                             duration=10e-3))
+    assert result.median_latency <= result.mean_latency * 1.5
+    assert result.median_latency <= result.p99_latency
+
+
+def test_result_str_is_readable():
+    cluster = make_ycsb_cluster(n_keys=200)
+    result = run_experiment(cluster, make_workload(cluster),
+                            ExperimentConfig(n_clients=3, warmup=2e-3,
+                                             duration=5e-3))
+    text = str(result)
+    assert "eris" in text and "txn/s" in text
+
+
+def test_throughput_matches_committed_over_duration():
+    cluster = make_ycsb_cluster(n_keys=200)
+    result = run_experiment(cluster, make_workload(cluster),
+                            ExperimentConfig(n_clients=10, warmup=2e-3,
+                                             duration=10e-3))
+    assert result.throughput == pytest.approx(
+        result.committed / result.duration)

@@ -1,0 +1,229 @@
+"""Unit tests for the Failure Coordinator driven directly with
+protocol messages (no full cluster)."""
+
+from repro.core.fc import FailureCoordinator
+from repro.core.messages import (
+    EpochChangeReq,
+    EpochState,
+    FindTxn,
+    HasTxn,
+    StartEpochAck,
+    TempDroppedTxn,
+    TxnDropped,
+    TxnFound,
+    TxnRecord,
+    TxnRequestMsg,
+)
+from repro.core.log import LogEntry
+from repro.core.quorum import ViewConsistentQuorum
+from repro.core.transaction import IndependentTransaction, SlotId, TxnId
+from repro.net.endpoint import Node
+from repro.net.message import MultiStamp
+from repro.net.network import NetConfig, Network
+from repro.sim.event_loop import EventLoop
+
+
+class Probe(Node):
+    def __init__(self, address, network):
+        super().__init__(address, network)
+        self.inbox = []
+
+    def handle(self, src, message, packet):
+        self.inbox.append(message)
+
+
+def build_fc(n_shards=2, n_replicas=3):
+    loop = EventLoop()
+    net = Network(loop, NetConfig(jitter=0.0))
+    shards = {}
+    probes = {}
+    for shard in range(n_shards):
+        addrs = [f"s{shard}r{i}" for i in range(n_replicas)]
+        shards[shard] = addrs
+        probes.update({a: Probe(a, net) for a in addrs})
+    fc = FailureCoordinator("fc", net, shards)
+    return loop, net, fc, probes
+
+
+def record_for(slot: SlotId, participants=(0, 1)):
+    txn = IndependentTransaction(txn_id=TxnId("c", 1), proc="p", args={},
+                                 participants=participants)
+    stamps = tuple((g, slot.seq) for g in participants)
+    return TxnRecord(txn=txn, multistamp=MultiStamp(slot.epoch, stamps))
+
+
+def temp_drop(slot, shard, idx, sender):
+    return TempDroppedTxn(slot=slot, shard=shard, view_num=0, epoch_num=1,
+                          sender=sender, replica_index=idx, is_dl=(idx == 0))
+
+
+def test_find_txn_broadcasts_request():
+    loop, net, fc, probes = build_fc()
+    fc.on_FindTxn("s0r1", FindTxn(slot=SlotId(0, 1, 5), sender="s0r1"), None)
+    loop.run(until=5e-3)  # bounded: the FC keeps retrying undecided finds
+    for probe in probes.values():
+        assert any(isinstance(m, TxnRequestMsg) for m in probe.inbox)
+
+
+def test_has_txn_resolves_to_participants():
+    loop, net, fc, probes = build_fc()
+    slot = SlotId(0, 1, 5)
+    fc.on_FindTxn("s0r1", FindTxn(slot=slot, sender="s0r1"), None)
+    fc.on_HasTxn("s1r0", HasTxn(slot=slot, record=record_for(slot),
+                                sender="s1r0"), None)
+    loop.run_until_idle()
+    assert slot in fc.found
+    found = [m for m in probes["s0r1"].inbox if isinstance(m, TxnFound)]
+    assert found and found[0].slot == slot
+
+
+def test_unanimous_temp_drops_decide_permanent_drop():
+    loop, net, fc, probes = build_fc()
+    slot = SlotId(0, 1, 5)
+    fc.on_FindTxn("s0r1", FindTxn(slot=slot, sender="s0r1"), None)
+    for shard in (0, 1):
+        for idx in range(2):   # majority incl DL (index 0) per shard
+            fc.on_TempDroppedTxn(
+                f"s{shard}r{idx}",
+                temp_drop(slot, shard, idx, f"s{shard}r{idx}"), None)
+    loop.run_until_idle()
+    assert slot in fc.dropped
+    # TXN-DROPPED reaches every replica of every shard.
+    for probe in probes.values():
+        assert any(isinstance(m, TxnDropped) for m in probe.inbox)
+
+
+def test_drop_needs_dl_in_each_quorum():
+    loop, net, fc, probes = build_fc()
+    slot = SlotId(0, 1, 5)
+    fc.on_FindTxn("s0r1", FindTxn(slot=slot, sender="s0r1"), None)
+    # Majorities WITHOUT the DL (indexes 1 and 2 only): no decision.
+    for shard in (0, 1):
+        for idx in (1, 2):
+            fc.on_TempDroppedTxn(
+                f"s{shard}r{idx}",
+                temp_drop(slot, shard, idx, f"s{shard}r{idx}"), None)
+    loop.run(until=5e-3)  # bounded: undecided finds retry forever
+    assert slot not in fc.dropped
+
+
+def test_drop_decisions_are_final_against_late_has_txn():
+    loop, net, fc, probes = build_fc()
+    slot = SlotId(0, 1, 5)
+    fc.on_FindTxn("s0r1", FindTxn(slot=slot, sender="s0r1"), None)
+    for shard in (0, 1):
+        for idx in range(2):
+            fc.on_TempDroppedTxn(
+                f"s{shard}r{idx}",
+                temp_drop(slot, shard, idx, f"s{shard}r{idx}"), None)
+    assert slot in fc.dropped
+    probes["s1r2"].inbox.clear()
+    fc.on_HasTxn("s1r2", HasTxn(slot=slot, record=record_for(slot),
+                                sender="s1r2"), None)
+    loop.run_until_idle()
+    # The late holder is told the transaction is dropped, not found.
+    assert any(isinstance(m, TxnDropped) for m in probes["s1r2"].inbox)
+    assert slot not in fc.found
+
+
+def test_found_decision_cached_for_later_finders():
+    loop, net, fc, probes = build_fc()
+    slot = SlotId(0, 1, 5)
+    fc.on_FindTxn("s0r1", FindTxn(slot=slot, sender="s0r1"), None)
+    fc.on_HasTxn("s1r0", HasTxn(slot=slot, record=record_for(slot),
+                                sender="s1r0"), None)
+    probes["s0r2"].inbox.clear()
+    fc.on_FindTxn("s0r2", FindTxn(slot=slot, sender="s0r2"), None)
+    loop.run_until_idle()
+    assert any(isinstance(m, TxnFound) for m in probes["s0r2"].inbox)
+
+
+def make_epoch_state(shard, sender, entries=(), epoch=1, view=0,
+                     new_epoch=2):
+    return EpochState(shard=shard, new_epoch=new_epoch,
+                      last_normal_epoch=epoch, view_num=view,
+                      log=tuple(entries), perm_drops=frozenset(),
+                      sender=sender)
+
+
+def test_epoch_change_requires_majority_from_every_shard():
+    loop, net, fc, probes = build_fc()
+    fc.on_EpochChangeReq("s0r0", EpochChangeReq(shard=0, new_epoch=2,
+                                                sender="s0r0"), None)
+    # Only shard 0 responds: no START-EPOCH yet.
+    for idx in range(3):
+        fc.on_EpochState(f"s0r{idx}",
+                         make_epoch_state(0, f"s0r{idx}"), None)
+    assert fc.epoch_changes_completed == 0
+    for idx in range(2):
+        fc.on_EpochState(f"s1r{idx}",
+                         make_epoch_state(1, f"s1r{idx}"), None)
+    assert fc.epoch_changes_completed == 1
+
+
+def test_epoch_change_completes_cross_shard_logs():
+    """A transaction known only to shard 0's log must appear in shard
+    1's rebuilt log at its stamped slot (the §6.5 consistency rule)."""
+    loop, net, fc, probes = build_fc()
+    slot0 = SlotId(0, 1, 1)
+    record = record_for(slot0, participants=(0, 1))  # stamps (0,1),(1,1)
+    entry = LogEntry(index=1, slot=slot0, kind="txn", record=record)
+    fc.on_EpochChangeReq("s0r0", EpochChangeReq(shard=0, new_epoch=2,
+                                                sender="s0r0"), None)
+    for idx in range(2):
+        fc.on_EpochState(f"s0r{idx}",
+                         make_epoch_state(0, f"s0r{idx}",
+                                          entries=(entry,)), None)
+    for idx in range(2):
+        fc.on_EpochState(f"s1r{idx}",
+                         make_epoch_state(1, f"s1r{idx}"), None)
+    loop.run(until=5e-3)  # bounded: START-EPOCH retransmits until acked
+    change = fc._epoch_changes[2]
+    shard1_log = change.start_msgs[1].log
+    assert len(shard1_log) == 1
+    assert shard1_log[0].kind == "txn"
+    assert shard1_log[0].slot == SlotId(1, 1, 1)
+
+
+def test_epoch_change_acks_stop_retransmission():
+    loop, net, fc, probes = build_fc()
+    fc.on_EpochChangeReq("s0r0", EpochChangeReq(shard=0, new_epoch=2,
+                                                sender="s0r0"), None)
+    for shard in (0, 1):
+        for idx in range(2):
+            fc.on_EpochState(f"s{shard}r{idx}",
+                             make_epoch_state(shard, f"s{shard}r{idx}"),
+                             None)
+    for shard in (0, 1):
+        for idx in range(2):
+            fc.on_StartEpochAck(f"s{shard}r{idx}",
+                                StartEpochAck(shard=shard, new_epoch=2,
+                                              sender=f"s{shard}r{idx}"),
+                                None)
+    change = fc._epoch_changes[2]
+    assert not change.timer.active
+
+
+def test_quorum_tracker_requires_dl():
+    quorum = ViewConsistentQuorum(3)
+    quorum.add(("k",), 1, is_dl=False)
+    quorum.add(("k",), 2, is_dl=False)
+    assert quorum.satisfied() is None
+    quorum.add(("k",), 0, is_dl=True)
+    assert quorum.satisfied() == ("k",)
+
+
+def test_quorum_tracker_keys_independent():
+    quorum = ViewConsistentQuorum(3)
+    quorum.add(("a",), 0, is_dl=True)
+    quorum.add(("b",), 1, is_dl=False)
+    quorum.add(("b",), 2, is_dl=False)
+    assert quorum.satisfied() is None   # split across keys
+
+
+def test_quorum_payloads_and_dl_payload():
+    quorum = ViewConsistentQuorum(3)
+    quorum.add("k", 0, is_dl=True, payload="dl-result")
+    quorum.add("k", 1, is_dl=False, payload="ack")
+    assert quorum.dl_payload("k") == "dl-result"
+    assert quorum.payloads("k") == {0: "dl-result", 1: "ack"}

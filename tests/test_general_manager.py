@@ -1,0 +1,157 @@
+"""Unit tests for the client-side general-transaction manager, plus
+the VR retransmission path added for lossy networks."""
+
+import pytest
+
+from repro.baselines.common import WorkloadOp
+from repro.core.general import GeneralTransactionManager
+from repro.net.network import NetConfig, Network
+from repro.replication.vr import VRConfig, VRPrepare, VRReplica
+from repro.sim.event_loop import EventLoop
+
+from conftest import drive, make_ycsb_cluster, submit_and_wait
+
+
+def test_manager_counts_commits_and_aborts():
+    cluster = make_ycsb_cluster(n_shards=2)
+    client = cluster.make_client()
+    manager = GeneralTransactionManager(client.node)
+    outcomes = []
+    manager.execute(read_keys={0, 1}, write_keys={0, 1},
+                    participants=(0, 1),
+                    compute=lambda values: {0: 1, 1: 1},
+                    callback=outcomes.append)
+    manager.execute(read_keys={2, 3}, write_keys={2, 3},
+                    participants=(0, 1),
+                    compute=lambda values: None,     # application abort
+                    callback=outcomes.append)
+    drive(cluster, 0.1)
+    assert len(outcomes) == 2
+    assert manager.committed == 1
+    assert manager.aborted == 1
+    aborted = next(o for o in outcomes if not o.committed)
+    assert aborted.reason == "application abort"
+
+
+def test_manager_merges_values_across_shards():
+    cluster = make_ycsb_cluster(n_shards=2)
+    client = cluster.make_client()
+    manager = GeneralTransactionManager(client.node)
+    seen = {}
+    manager.execute(read_keys={0, 1}, write_keys=set(),
+                    participants=(0, 1),
+                    compute=lambda values: (seen.update(values) or {}),
+                    callback=lambda outcome: None)
+    drive(cluster, 0.1)
+    # Keys 0 and 1 live on different shards; both values were merged.
+    assert set(seen) == {0, 1}
+
+
+def test_manager_gtid_is_prelim_txn_id():
+    cluster = make_ycsb_cluster(n_shards=1)
+    client = cluster.make_client()
+    manager = GeneralTransactionManager(client.node)
+    outcomes = []
+    gtid = manager.execute(read_keys={0}, write_keys={0},
+                           participants=(0,),
+                           compute=lambda values: {0: 9},
+                           callback=outcomes.append)
+    drive(cluster, 0.1)
+    assert outcomes[0].gtid == gtid
+    assert outcomes[0].committed
+
+
+def test_reconnaissance_empty_request_completes_immediately():
+    cluster = make_ycsb_cluster(n_shards=1)
+    client = cluster.make_client()
+    manager = GeneralTransactionManager(client.node)
+    results = []
+    manager.reconnaissance({}, results.append)
+    assert results == [{}]
+
+
+def test_sequential_generals_from_one_client():
+    cluster = make_ycsb_cluster(n_shards=2)
+    client = cluster.make_client()
+    manager = GeneralTransactionManager(client.node)
+    outcomes = []
+
+    def second(first_outcome):
+        outcomes.append(first_outcome)
+        manager.execute(read_keys={0, 1}, write_keys={0, 1},
+                        participants=(0, 1),
+                        compute=lambda values: {0: values[0] + 1,
+                                                1: values[1] + 1},
+                        callback=outcomes.append)
+
+    manager.execute(read_keys={0, 1}, write_keys={0, 1},
+                    participants=(0, 1),
+                    compute=lambda values: {0: 10, 1: 10},
+                    callback=second)
+    drive(cluster, 0.2)
+    assert len(outcomes) == 2
+    assert all(o.committed for o in outcomes)
+    assert cluster.authoritative_store(0).get(0) == 11
+    assert cluster.authoritative_store(1).get(1) == 11
+
+
+# -- VR retransmission (lost prepares must not wedge the log) -------------
+
+class Applied(VRReplica):
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.applied = []
+
+    def execute_op(self, op):
+        self.applied.append(op)
+        return op
+
+
+def test_vr_lost_prepare_recovered_by_heartbeat():
+    loop = EventLoop()
+    net = Network(loop, NetConfig(jitter=0.0))
+    group = ["r0", "r1", "r2"]
+    config = VRConfig(heartbeat_interval=3e-3, view_change_timeout=60e-3)
+    replicas = [Applied(a, net, group, i, config)
+                for i, a in enumerate(group)]
+    # Drop the FIRST VRPrepare for op 1 to each backup.
+    dropped = set()
+
+    def drop_first_prepares(pkt):
+        if isinstance(pkt.payload, VRPrepare) and pkt.payload.op_num == 1:
+            key = (pkt.dst, pkt.payload.op_num)
+            if key not in dropped:
+                dropped.add(key)
+                return True
+        return False
+
+    net.drop_filter = drop_first_prepares
+    done = []
+    replicas[0].replicate("op-1", done.append)
+    loop.run(until=0.05)
+    assert done == ["op-1"]              # committed despite the loss
+    for replica in replicas:
+        assert replica.applied == ["op-1"]
+
+
+def test_vr_gap_filled_in_order():
+    """A backup that missed op N must not ack op N+1 out of order; the
+    heartbeat retransmission fills the gap sequentially."""
+    loop = EventLoop()
+    net = Network(loop, NetConfig(jitter=0.0))
+    group = ["r0", "r1", "r2"]
+    config = VRConfig(heartbeat_interval=3e-3, view_change_timeout=60e-3)
+    replicas = [Applied(a, net, group, i, config)
+                for i, a in enumerate(group)]
+    window = {"drop": True}
+    net.drop_filter = lambda pkt: (window["drop"]
+                                   and isinstance(pkt.payload, VRPrepare)
+                                   and pkt.dst == "r1")
+    done = []
+    for i in range(3):
+        replicas[0].replicate(f"op-{i}", done.append)
+    loop.run(until=2e-3)
+    window["drop"] = False
+    loop.run(until=0.05)
+    assert len(done) == 3
+    assert replicas[1].applied == ["op-0", "op-1", "op-2"]

@@ -1,0 +1,108 @@
+"""Randomized end-to-end soak tests: many seeds, mixed faults, and the
+§6.7 invariants checked after every run.
+
+These are the executable stand-in for the paper's TLA+ model checking:
+each seed produces a different interleaving of transactions, packet
+loss, and (in the hardest variant) a DL crash; every run must end with
+serializable, atomic, replica-consistent state.
+"""
+
+import pytest
+
+from repro.baselines.common import WorkloadOp
+from repro.harness.checkers import run_all_checks
+
+from conftest import drive, make_ycsb_cluster
+
+
+def rmw_op(keys, partitioner):
+    return WorkloadOp(proc="ycsb_rmw", args={"keys": tuple(keys)},
+                      participants=partitioner.participants_for(keys),
+                      read_keys=frozenset(keys), write_keys=frozenset(keys))
+
+
+def swap_op(k1, k2, partitioner):
+    keys = frozenset([k1, k2])
+    return WorkloadOp(proc="ycsb_swap", args={},
+                      participants=partitioner.participants_for(keys),
+                      read_keys=keys, write_keys=keys, is_general=True,
+                      compute=lambda v: {k1: v.get(k2, 0),
+                                         k2: v.get(k1, 0)})
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+def test_soak_lossy_network(seed):
+    cluster = make_ycsb_cluster(n_shards=3, seed=seed, drop_rate=0.02,
+                                n_keys=60)
+    rng = __import__("random").Random(seed)
+    clients = [cluster.make_client() for _ in range(8)]
+    done = []
+    for i in range(60):
+        if rng.random() < 0.3:
+            keys = rng.sample(range(60), 2)
+        else:
+            keys = [rng.randrange(60)]
+        clients[i % 8].submit(rmw_op(keys, cluster.partitioner),
+                              done.append)
+    drive(cluster, 0.3)
+    cluster.set_drop_rate(0.0)
+    drive(cluster, 0.2)
+    committed = sum(1 for r in done if r.committed)
+    assert committed >= 55
+    run_all_checks(cluster)
+
+
+@pytest.mark.parametrize("seed", [11, 12, 13])
+def test_soak_loss_plus_generals(seed):
+    cluster = make_ycsb_cluster(n_shards=2, seed=seed, drop_rate=0.01,
+                                n_keys=40)
+    rng = __import__("random").Random(seed)
+    done = []
+    for i in range(40):
+        client = cluster.make_client()
+        if rng.random() < 0.3:
+            k1 = rng.randrange(0, 40, 2)       # shard 0
+            k2 = rng.randrange(1, 40, 2)       # shard 1
+            client.submit(swap_op(k1, k2, cluster.partitioner),
+                          done.append)
+        else:
+            client.submit(rmw_op([rng.randrange(40)],
+                                 cluster.partitioner), done.append)
+    drive(cluster, 0.3)
+    cluster.set_drop_rate(0.0)
+    drive(cluster, 0.3)
+    committed = sum(1 for r in done if r.committed)
+    assert committed >= 36
+    run_all_checks(cluster)
+    # No locks may remain held once everything quiesced.
+    for replicas in cluster.replicas.values():
+        for replica in replicas:
+            assert not replica.engine.pending_generals
+
+
+@pytest.mark.parametrize("seed", [21, 22])
+def test_soak_loss_plus_dl_crash(seed):
+    cluster = make_ycsb_cluster(n_shards=2, seed=seed, drop_rate=0.005,
+                                n_keys=40)
+    rng = __import__("random").Random(seed)
+    clients = [cluster.make_client() for _ in range(6)]
+    done = []
+
+    def pump(client, budget):
+        if budget == 0:
+            return
+        keys = ([rng.randrange(40)] if rng.random() < 0.6
+                else rng.sample(range(40), 2))
+        client.submit(rmw_op(keys, cluster.partitioner),
+                      lambda r: (done.append(r), pump(client, budget - 1)))
+
+    for client in clients:
+        pump(client, 15)
+    drive(cluster, 0.05)
+    cluster.replicas[0][0].crash()   # DL of shard 0
+    drive(cluster, 0.6)
+    cluster.set_drop_rate(0.0)
+    drive(cluster, 0.4)
+    committed = sum(1 for r in done if r.committed)
+    assert committed >= 6 * 15 - 8
+    run_all_checks(cluster)

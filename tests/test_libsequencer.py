@@ -1,0 +1,173 @@
+"""Unit + property tests for the end-host multi-sequencing channel."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.libsequencer import MultiSequencedChannel, UpcallKind
+from repro.net.message import MultiStamp, Packet
+
+
+def pkt(group, epoch, seq, payload=None):
+    return Packet(src="s", dst="d", payload=payload or f"m{seq}",
+                  multistamp=MultiStamp(epoch=epoch, stamps=((group, seq),)))
+
+
+def kinds(upcalls):
+    return [(u.kind, u.seq) for u in upcalls]
+
+
+def test_in_order_delivery():
+    ch = MultiSequencedChannel(group=0)
+    assert kinds(ch.on_packet(pkt(0, 1, 1))) == [(UpcallKind.DELIVER, 1)]
+    assert kinds(ch.on_packet(pkt(0, 1, 2))) == [(UpcallKind.DELIVER, 2)]
+    assert ch.next_seq == 3
+
+
+def test_duplicates_ignored():
+    ch = MultiSequencedChannel(group=0)
+    ch.on_packet(pkt(0, 1, 1))
+    assert ch.on_packet(pkt(0, 1, 1)) == []
+
+
+def test_gap_raises_drop_notification_once():
+    ch = MultiSequencedChannel(group=0)
+    upcalls = ch.on_packet(pkt(0, 1, 3))
+    assert kinds(upcalls) == [(UpcallKind.DROP_NOTIFICATION, 1),
+                              (UpcallKind.DROP_NOTIFICATION, 2)]
+    # Re-receiving the same future packet raises nothing new.
+    assert ch.on_packet(pkt(0, 1, 3)) == []
+
+
+def test_gap_filled_by_late_packet_flushes_buffer():
+    ch = MultiSequencedChannel(group=0)
+    ch.on_packet(pkt(0, 1, 2))
+    upcalls = ch.on_packet(pkt(0, 1, 1))
+    assert kinds(upcalls) == [(UpcallKind.DELIVER, 1), (UpcallKind.DELIVER, 2)]
+
+
+def test_resolve_with_packet_closes_gap():
+    ch = MultiSequencedChannel(group=0)
+    ch.on_packet(pkt(0, 1, 2))
+    upcalls = ch.resolve(1, pkt(0, 1, 1, payload="recovered"))
+    assert kinds(upcalls) == [(UpcallKind.DELIVER, 1), (UpcallKind.DELIVER, 2)]
+    assert upcalls[0].packet.payload == "recovered"
+
+
+def test_resolve_with_none_is_permanent_drop():
+    ch = MultiSequencedChannel(group=0)
+    ch.on_packet(pkt(0, 1, 2))
+    upcalls = ch.resolve(1, None)
+    assert kinds(upcalls) == [(UpcallKind.DELIVER, 1), (UpcallKind.DELIVER, 2)]
+    assert upcalls[0].packet is None
+
+
+def test_resolve_already_delivered_is_noop():
+    ch = MultiSequencedChannel(group=0)
+    ch.on_packet(pkt(0, 1, 1))
+    assert ch.resolve(1, None) == []
+
+
+def test_stale_epoch_ignored():
+    ch = MultiSequencedChannel(group=0, epoch=2)
+    assert ch.on_packet(pkt(0, 1, 1)) == []
+
+
+def test_new_epoch_notification_once():
+    ch = MultiSequencedChannel(group=0)
+    upcalls = ch.on_packet(pkt(0, 2, 1))
+    assert [u.kind for u in upcalls] == [UpcallKind.NEW_EPOCH]
+    assert upcalls[0].epoch == 2
+    assert ch.on_packet(pkt(0, 2, 2)) == []
+    assert ch.pending_epochs() == [2]
+
+
+def test_begin_epoch_replays_buffered_packets():
+    ch = MultiSequencedChannel(group=0)
+    ch.on_packet(pkt(0, 2, 1))
+    ch.on_packet(pkt(0, 2, 2))
+    replay = ch.begin_epoch(2)
+    assert len(replay) == 2
+    assert ch.epoch == 2 and ch.next_seq == 1
+    upcalls = []
+    for packet in replay:
+        upcalls.extend(ch.on_packet(packet))
+    assert kinds(upcalls) == [(UpcallKind.DELIVER, 1), (UpcallKind.DELIVER, 2)]
+
+
+def test_begin_epoch_must_increase():
+    ch = MultiSequencedChannel(group=0, epoch=3)
+    with pytest.raises(Exception):
+        ch.begin_epoch(3)
+
+
+def test_fast_forward_skips_and_flushes():
+    ch = MultiSequencedChannel(group=0)
+    ch.on_packet(pkt(0, 1, 5))
+    upcalls = ch.fast_forward(5)
+    assert kinds(upcalls) == [(UpcallKind.DELIVER, 5)]
+    assert ch.next_seq == 6
+
+
+def test_fast_forward_backwards_is_noop():
+    ch = MultiSequencedChannel(group=0)
+    ch.on_packet(pkt(0, 1, 1))
+    assert ch.fast_forward(1) == []
+    assert ch.next_seq == 2
+
+
+def test_wrong_group_packets_ignored():
+    ch = MultiSequencedChannel(group=0)
+    assert ch.on_packet(pkt(9, 1, 1)) == []
+
+
+def test_missing_reports_known_gaps():
+    ch = MultiSequencedChannel(group=0)
+    ch.on_packet(pkt(0, 1, 4))
+    assert ch.missing() == [1, 2, 3]
+    ch.resolve(2, None)
+    assert ch.missing() == [1, 3]
+
+
+def test_get_buffered():
+    ch = MultiSequencedChannel(group=0)
+    ch.on_packet(pkt(0, 1, 3, payload="future"))
+    assert ch.get_buffered(3).payload == "future"
+    assert ch.get_buffered(2) is None
+
+
+# -- property-based: any arrival order delivers exactly once, in order ----
+
+@settings(max_examples=200, deadline=None)
+@given(st.permutations(list(range(1, 9))),
+       st.sets(st.integers(min_value=1, max_value=8)))
+def test_exactly_once_in_order_delivery(order, dropped):
+    """Feed packets 1..8 in arbitrary order, with an arbitrary subset
+    'dropped' (never arriving; resolved as perm-drops when notified).
+    The channel must deliver every non-dropped sequence exactly once,
+    in ascending order."""
+    ch = MultiSequencedChannel(group=0)
+    delivered = []
+
+    def consume(upcalls):
+        for u in upcalls:
+            if u.kind is UpcallKind.DELIVER and u.packet is not None:
+                delivered.append(u.seq)
+
+    pending_drops = set()
+    for seq in order:
+        if seq in dropped:
+            continue
+        upcalls = ch.on_packet(pkt(0, 1, seq))
+        consume(upcalls)
+        for u in upcalls:
+            if u.kind is UpcallKind.DROP_NOTIFICATION and u.seq in dropped:
+                pending_drops.add(u.seq)
+        # Resolve any known-dropped gaps (as the Eris protocol would).
+        for gap in sorted(pending_drops):
+            consume(ch.resolve(gap, None))
+        pending_drops.clear()
+    expected = [s for s in range(1, 9)
+                if s not in dropped and s < ch.next_seq]
+    assert delivered == expected
+    assert delivered == sorted(set(delivered))

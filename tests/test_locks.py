@@ -1,0 +1,144 @@
+"""Unit + property tests for the lock manager."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.store.locks import (
+    LockManager,
+    LockMode,
+    LockOutcome,
+    LockPolicy,
+)
+
+
+def test_grant_when_free():
+    lm = LockManager()
+    assert lm.request("t1", {"a"}, {"b"}) is LockOutcome.GRANTED
+    assert lm.holds_any("t1")
+    assert lm.is_locked("b")
+    assert lm.is_locked("a", LockMode.WRITE)
+    assert not lm.is_locked("a", LockMode.READ)
+
+
+def test_shared_readers_coexist():
+    lm = LockManager()
+    assert lm.request("t1", {"a"}, set()) is LockOutcome.GRANTED
+    assert lm.request("t2", {"a"}, set()) is LockOutcome.GRANTED
+
+
+def test_writer_blocks_reader_and_writer():
+    lm = LockManager()
+    lm.request("t1", set(), {"a"})
+    assert lm.request("t2", {"a"}, set()) is LockOutcome.QUEUED
+    assert lm.request("t3", set(), {"a"}) is LockOutcome.QUEUED
+    assert lm.queue_length() == 2
+
+
+def test_reader_blocks_writer_not_reader():
+    lm = LockManager()
+    lm.request("t1", {"a"}, set())
+    assert lm.request("t2", set(), {"a"}) is LockOutcome.QUEUED
+    assert lm.request("t3", {"a"}, set()) is LockOutcome.GRANTED
+
+
+def test_release_grants_fifo():
+    lm = LockManager()
+    order = []
+    lm.request("t1", set(), {"a"})
+    lm.request("t2", set(), {"a"}, on_grant=lambda: order.append("t2"))
+    lm.request("t3", set(), {"a"}, on_grant=lambda: order.append("t3"))
+    lm.release_all("t1")
+    assert order == ["t2"]
+    lm.release_all("t2")
+    assert order == ["t2", "t3"]
+
+
+def test_atomic_all_or_nothing_grant():
+    lm = LockManager()
+    lm.request("t1", set(), {"a"})
+    # t2 needs a AND b; b is free but the grant must be atomic.
+    assert lm.request("t2", set(), {"a", "b"}) is LockOutcome.QUEUED
+    assert not lm.is_locked("b")
+    lm.release_all("t1")
+    assert lm.is_locked("b")
+
+
+def test_wait_die_younger_aborts():
+    lm = LockManager()
+    lm.request("old", set(), {"a"}, timestamp=1.0)
+    outcome = lm.request("young", set(), {"a"}, timestamp=2.0,
+                         policy=LockPolicy.WAIT_DIE)
+    assert outcome is LockOutcome.ABORTED
+    assert lm.aborts == 1
+
+
+def test_wait_die_older_waits():
+    lm = LockManager()
+    lm.request("young", set(), {"a"}, timestamp=2.0)
+    outcome = lm.request("old", set(), {"a"}, timestamp=1.0,
+                         policy=LockPolicy.WAIT_DIE)
+    assert outcome is LockOutcome.QUEUED
+
+
+def test_release_removes_queued_requests():
+    lm = LockManager()
+    lm.request("t1", set(), {"a"})
+    lm.request("t2", set(), {"a"})
+    lm.release_all("t2")   # t2 gives up while queued
+    lm.release_all("t1")
+    assert lm.queue_length() == 0
+    assert not lm.is_locked("a")
+
+
+def test_reacquire_own_keys_is_not_conflict():
+    lm = LockManager()
+    lm.request("t1", set(), {"a"})
+    assert lm.request("t1", {"a"}, {"a"}) is LockOutcome.GRANTED
+
+
+def test_release_unknown_txn_is_harmless():
+    lm = LockManager()
+    assert lm.release_all("ghost") == []
+
+
+def test_cascading_grants_on_release():
+    lm = LockManager()
+    granted = []
+    lm.request("t1", set(), {"a", "b"})
+    lm.request("t2", set(), {"a"}, on_grant=lambda: granted.append("t2"))
+    lm.request("t3", set(), {"b"}, on_grant=lambda: granted.append("t3"))
+    lm.release_all("t1")
+    assert sorted(granted) == ["t2", "t3"]
+
+
+# -- property: mutual exclusion + no lost requests ------------------------
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(
+    st.tuples(st.integers(0, 9),                 # txn id
+              st.sets(st.integers(0, 4), max_size=3),   # read keys
+              st.sets(st.integers(0, 4), max_size=3)),  # write keys
+    min_size=1, max_size=20))
+def test_lock_invariants_hold_under_random_schedules(requests):
+    """After any request/release interleaving: (1) a write-locked key
+    has exactly one holder and no readers; (2) every transaction is
+    granted, queued, or finished — never lost."""
+    lm = LockManager()
+    state = {}
+    for i, (txn, reads, writes) in enumerate(requests):
+        txn_key = (txn, i)
+        outcome = lm.request(txn_key, frozenset(reads), frozenset(writes),
+                             timestamp=i)
+        state[txn_key] = outcome
+        # Release every third transaction immediately to churn grants.
+        if i % 3 == 2:
+            lm.release_all(txn_key)
+            state.pop(txn_key)
+        # Invariant 1: write-locked keys have one writer, no readers.
+        for key, writer in lm._writer.items():
+            assert key not in lm._readers or not lm._readers[key]
+    for txn_key in list(state):
+        lm.release_all(txn_key)
+    assert lm.queue_length() == 0
+    assert not lm._writer
+    assert not lm._readers

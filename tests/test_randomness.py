@@ -1,0 +1,62 @@
+"""Unit tests for the splittable RNG."""
+
+from repro.sim.randomness import SplitRandom
+
+
+def test_same_seed_same_stream():
+    a = SplitRandom(7)
+    b = SplitRandom(7)
+    assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+
+def test_different_seeds_differ():
+    a = SplitRandom(7)
+    b = SplitRandom(8)
+    assert [a.random() for _ in range(10)] != [b.random() for _ in range(10)]
+
+
+def test_split_is_deterministic():
+    a = SplitRandom(7).split("network")
+    b = SplitRandom(7).split("network")
+    assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+
+def test_split_names_are_independent():
+    a = SplitRandom(7).split("network")
+    b = SplitRandom(7).split("workload")
+    assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+
+def test_split_does_not_perturb_parent():
+    parent = SplitRandom(7)
+    before = parent.random()
+    parent2 = SplitRandom(7)
+    parent2.split("anything")
+    assert parent2.random() == before
+
+
+def test_uniform_bounds():
+    rng = SplitRandom(3)
+    for _ in range(100):
+        value = rng.uniform(1.0, 2.0)
+        assert 1.0 <= value <= 2.0
+
+
+def test_randrange_bounds():
+    rng = SplitRandom(3)
+    assert all(0 <= rng.randrange(10) < 10 for _ in range(100))
+
+
+def test_sample_and_choice():
+    rng = SplitRandom(3)
+    population = list(range(20))
+    sampled = rng.sample(population, 5)
+    assert len(set(sampled)) == 5
+    assert rng.choice(population) in population
+
+
+def test_shuffle_preserves_elements():
+    rng = SplitRandom(3)
+    items = list(range(10))
+    rng.shuffle(items)
+    assert sorted(items) == list(range(10))

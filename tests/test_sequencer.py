@@ -1,0 +1,195 @@
+"""Unit tests for multi-stamping sequencers, OUM, and the controller."""
+
+import pytest
+
+from repro.net.controller import ControllerConfig, SDNController
+from repro.net.endpoint import Node
+from repro.net.network import NetConfig, Network
+from repro.net.oum import OUMSequencer
+from repro.net.sequencer import MultiSequencer, SequencerProfile
+from repro.sim.event_loop import EventLoop
+
+
+class Sink(Node):
+    def __init__(self, address, network):
+        super().__init__(address, network)
+        self.packets = []
+
+    def deliver(self, packet):
+        self.packets.append(packet)
+
+
+def build(groups=2, members=3, oum=False):
+    loop = EventLoop()
+    net = Network(loop, NetConfig(jitter=0.0))
+    sinks = {}
+    for g in range(groups):
+        addrs = [f"g{g}m{i}" for i in range(members)]
+        sinks[g] = [Sink(a, net) for a in addrs]
+        net.groups.define(g, addrs)
+    cls = OUMSequencer if oum else MultiSequencer
+    seq = cls("seq0", net, SequencerProfile.in_switch())
+    net.install_sequencer_route("seq0")
+    sender = Sink("client", net)
+    return loop, net, seq, sinks, sender
+
+
+def test_multistamp_one_counter_per_group():
+    loop, net, seq, sinks, sender = build()
+    sender.send_groupcast((0,), "a")
+    sender.send_groupcast((1,), "b")
+    sender.send_groupcast((0, 1), "c")
+    loop.run_until_idle()
+    assert seq.counters == {0: 2, 1: 2}
+    last = sinks[0][0].packets[-1]
+    assert last.multistamp.seq_for(0) == 2
+    assert last.multistamp.seq_for(1) == 2
+
+
+def test_all_group_members_receive_copies():
+    loop, net, seq, sinks, sender = build()
+    sender.send_groupcast((0, 1), "x")
+    loop.run_until_idle()
+    for group in (0, 1):
+        for sink in sinks[group]:
+            assert len(sink.packets) == 1
+            assert sink.packets[0].payload == "x"
+
+
+def test_stamps_are_consistent_across_recipients():
+    loop, net, seq, sinks, sender = build()
+    for i in range(10):
+        sender.send_groupcast((0, 1), i)
+    loop.run_until_idle()
+    reference = [p.multistamp for p in sinks[0][0].packets]
+    for group in (0, 1):
+        for sink in sinks[group]:
+            assert [p.multistamp for p in sink.packets] == reference
+
+
+def test_epoch_attached_to_stamp():
+    loop, net, seq, sinks, sender = build()
+    seq.install_epoch(5)
+    sender.send_groupcast((0,), "x")
+    loop.run_until_idle()
+    assert sinks[0][0].packets[0].multistamp.epoch == 5
+
+
+def test_install_epoch_resets_counters():
+    loop, net, seq, sinks, sender = build()
+    sender.send_groupcast((0,), "x")
+    loop.run_until_idle()
+    assert seq.counters[0] == 1
+    seq.install_epoch(2)
+    assert seq.counters == {}
+    sender.send_groupcast((0,), "y")
+    loop.run_until_idle()
+    assert sinks[0][0].packets[-1].multistamp.seq_for(0) == 1
+
+
+def test_install_lower_epoch_rejected_after_stamping():
+    loop, net, seq, sinks, sender = build()
+    seq.install_epoch(5)
+    sender.send_groupcast((0,), "x")
+    loop.run_until_idle()
+    with pytest.raises(ValueError):
+        seq.install_epoch(4)
+
+
+def test_profiles_match_table1_capacities():
+    middlebox = SequencerProfile.middlebox()
+    endhost = SequencerProfile.endhost()
+    assert 1.0 / middlebox.per_packet_service == pytest.approx(6.19e6)
+    assert 1.0 / endhost.per_packet_service == pytest.approx(1.61e6)
+    assert middlebox.added_latency == pytest.approx(13.64e-6)
+    assert endhost.added_latency == pytest.approx(24.60e-6)
+
+
+def test_crashed_sequencer_stamps_nothing():
+    loop, net, seq, sinks, sender = build()
+    seq.crash()
+    sender.send_groupcast((0,), "x")
+    loop.run_until_idle()
+    assert sinks[0][0].packets == []
+    assert seq.packets_stamped == 0
+
+
+def test_oum_single_global_counter():
+    loop, net, seq, sinks, sender = build(oum=True)
+    sender.send_groupcast((0,), "a")
+    sender.send_groupcast((1,), "b")
+    loop.run_until_idle()
+    seqs = [p.multistamp.seq_for(OUMSequencer.GLOBAL_GROUP)
+            for p in sinks[0][0].packets]
+    assert seqs == [1, 2]
+
+
+def test_oum_floods_every_member_of_every_group():
+    loop, net, seq, sinks, sender = build(oum=True)
+    sender.send_groupcast((0,), "only-for-group-0")
+    loop.run_until_idle()
+    for group in (0, 1):
+        for sink in sinks[group]:
+            assert len(sink.packets) == 1
+
+
+def _controller_setup(n_seq=2):
+    loop = EventLoop()
+    net = Network(loop, NetConfig(jitter=0.0))
+    seqs = [MultiSequencer(f"seq{i}", net) for i in range(n_seq)]
+    controller = SDNController(
+        "ctrl", net, [s.address for s in seqs],
+        ControllerConfig(ping_interval=5e-3, failure_threshold=3,
+                         reroute_delay=20e-3))
+    controller.start()
+    return loop, net, seqs, controller
+
+
+def test_controller_installs_initial_route():
+    loop, net, seqs, controller = _controller_setup()
+    assert net.sequencer_address == "seq0"
+    assert controller.current_epoch == 1
+
+
+def test_healthy_sequencer_keeps_route():
+    loop, net, seqs, controller = _controller_setup()
+    loop.run(until=0.2)
+    assert controller.failovers == 0
+    assert net.sequencer_address == "seq0"
+
+
+def test_failover_replaces_dead_sequencer():
+    loop, net, seqs, controller = _controller_setup()
+    loop.run(until=0.05)
+    seqs[0].crash()
+    loop.run(until=0.2)
+    assert controller.failovers == 1
+    assert net.sequencer_address == "seq1"
+    assert seqs[1].epoch == 2
+    assert controller.current_epoch == 2
+
+
+def test_route_withdrawn_during_failover():
+    loop, net, seqs, controller = _controller_setup()
+    loop.run(until=0.05)
+    seqs[0].crash()
+    # run until just after detection but before reroute completes
+    observed_none = []
+
+    def probe():
+        if net.sequencer_address is None:
+            observed_none.append(loop.now)
+        if loop.now < 0.2:
+            loop.schedule(1e-3, probe)
+
+    loop.schedule(1e-3, probe)
+    loop.run(until=0.2)
+    assert observed_none, "route should be withdrawn during failover"
+
+
+def test_force_failover_skips_detection():
+    loop, net, seqs, controller = _controller_setup()
+    controller.force_failover()
+    loop.run(until=0.05)
+    assert controller.failovers == 1
+    assert net.sequencer_address == "seq1"

@@ -1,0 +1,69 @@
+"""Unit tests for measurement utilities."""
+
+import math
+
+import pytest
+
+from repro.sim.stats import LatencyRecorder, ThroughputMeter, TimeSeries
+
+
+def test_latency_mean_and_percentiles():
+    recorder = LatencyRecorder()
+    for value in range(1, 101):
+        recorder.record(0.0, value / 1000.0)
+    assert recorder.mean() == pytest.approx(0.0505)
+    assert recorder.percentile(50) == pytest.approx(0.050)
+    assert recorder.percentile(99) == pytest.approx(0.099)
+    assert recorder.median() == recorder.percentile(50)
+
+
+def test_latency_window_filters_samples():
+    recorder = LatencyRecorder()
+    recorder.open_window(1.0, 2.0)
+    recorder.record(0.5, 100.0)   # before window
+    recorder.record(1.5, 1.0)     # inside
+    recorder.record(2.5, 100.0)   # after
+    assert recorder.samples == [1.0]
+
+
+def test_latency_empty_is_nan():
+    recorder = LatencyRecorder()
+    assert math.isnan(recorder.mean())
+    assert math.isnan(recorder.percentile(99))
+
+
+def test_throughput_rate():
+    meter = ThroughputMeter()
+    meter.open_window(0.0, 2.0)
+    for t in (0.5, 1.0, 1.5, 2.5):
+        meter.record(t)
+    assert meter.count == 3
+    assert meter.total_count == 4
+    assert meter.rate() == pytest.approx(1.5)
+
+
+def test_throughput_without_window_is_nan():
+    meter = ThroughputMeter()
+    meter.record(1.0)
+    assert math.isnan(meter.rate())
+
+
+def test_timeseries_buckets():
+    series = TimeSeries(bucket_width=1.0)
+    for t in (0.1, 0.2, 1.5, 3.9):
+        series.record(t)
+    points = series.series()
+    assert points[0] == (0.5, 2.0)
+    assert points[1] == (1.5, 1.0)
+    assert points[2] == (2.5, 0.0)   # empty bucket reported as zero
+    assert points[3] == (3.5, 1.0)
+
+
+def test_timeseries_origin_shift():
+    series = TimeSeries(bucket_width=1.0, origin=10.0)
+    series.record(10.5)
+    assert series.series() == [(10.5, 1.0)]
+
+
+def test_timeseries_empty():
+    assert TimeSeries(bucket_width=1.0).series() == []

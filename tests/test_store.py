@@ -1,0 +1,139 @@
+"""Unit tests for the KV store, undo log, and procedure contexts."""
+
+import pytest
+
+from repro.errors import TransactionAborted, UnknownProcedureError
+from repro.store.kv import KVStore, MISSING
+from repro.store.procedures import ProcedureRegistry, TxnContext
+from repro.store.undo import UndoLog
+
+
+def test_get_missing_returns_sentinel():
+    store = KVStore()
+    assert store.get("nope") is MISSING
+    assert not MISSING  # falsy but distinct from None
+    store.put("k", None)
+    assert store.get("k") is None
+
+
+def test_put_get_delete_roundtrip():
+    store = KVStore()
+    store.put("k", 42)
+    assert store.get("k") == 42
+    assert "k" in store
+    store.delete("k")
+    assert store.get("k") is MISSING
+    assert len(store) == 0
+
+
+def test_restore_reinstates_or_removes():
+    store = KVStore()
+    store.put("k", 1)
+    store.restore("k", MISSING)
+    assert "k" not in store
+    store.restore("k", 7)
+    assert store.get("k") == 7
+
+
+def test_scan_prefix_matches_tuple_keys():
+    store = KVStore()
+    store.put(("stock", 1, 10), "a")
+    store.put(("stock", 1, 11), "b")
+    store.put(("stock", 2, 10), "c")
+    store.put("plain", "d")
+    found = dict(store.scan_prefix(("stock", 1)))
+    assert found == {("stock", 1, 10): "a", ("stock", 1, 11): "b"}
+
+
+def test_snapshot_and_load():
+    store = KVStore()
+    store.put("a", 1)
+    snap = store.snapshot()
+    store.put("a", 2)
+    store.load(snap)
+    assert store.get("a") == 1
+
+
+def test_read_write_counters():
+    store = KVStore()
+    store.put("a", 1)
+    store.get("a")
+    store.get("b")
+    assert store.writes == 1
+    assert store.reads == 2
+
+
+def test_undo_rolls_back_in_reverse():
+    store = KVStore()
+    store.put("a", 1)
+    undo = UndoLog()
+    undo.record("a", store.get("a"))
+    store.put("a", 2)
+    undo.record("b", store.get("b"))   # MISSING pre-image
+    store.put("b", 99)
+    undo.rollback(store)
+    assert store.get("a") == 1
+    assert store.get("b") is MISSING
+    assert len(undo) == 0
+
+
+def test_undo_keeps_first_preimage_only():
+    store = KVStore()
+    store.put("a", 1)
+    undo = UndoLog()
+    undo.record("a", 1)
+    store.put("a", 2)
+    undo.record("a", 2)   # ignored: first pre-image wins
+    store.put("a", 3)
+    undo.rollback(store)
+    assert store.get("a") == 1
+
+
+def test_ctx_tracks_read_write_sets():
+    store = KVStore()
+    store.put("a", 1)
+    ctx = TxnContext(store)
+    ctx.get("a")
+    ctx.put("b", 2)
+    ctx.delete("a")
+    assert ctx.read_set == {"a"}
+    assert ctx.write_set == {"a", "b"}
+
+
+def test_ctx_ownership_filter():
+    store = KVStore()
+    ctx = TxnContext(store, shard=1, owns=lambda k: k.startswith("mine"))
+    assert ctx.owns("mine:1")
+    assert not ctx.owns("theirs:1")
+
+
+def test_ctx_records_undo():
+    store = KVStore()
+    store.put("a", 1)
+    undo = UndoLog()
+    ctx = TxnContext(store, undo=undo)
+    ctx.put("a", 2)
+    undo.rollback(store)
+    assert store.get("a") == 1
+
+
+def test_ctx_abort_raises():
+    ctx = TxnContext(KVStore())
+    with pytest.raises(TransactionAborted) as info:
+        ctx.abort("bad input")
+    assert info.value.reason == "bad input"
+
+
+def test_registry_executes_and_lists():
+    registry = ProcedureRegistry()
+    registry.register("double", lambda ctx, args: args["x"] * 2)
+    ctx = TxnContext(KVStore())
+    assert registry.execute("double", ctx, {"x": 21}) == 42
+    assert "double" in registry
+    assert registry.names() == ["double"]
+
+
+def test_registry_unknown_procedure():
+    registry = ProcedureRegistry()
+    with pytest.raises(UnknownProcedureError):
+        registry.procedure("ghost")

@@ -1,0 +1,69 @@
+"""Unit tests for the §5.4 in-switch resource analysis."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.switch_resources import (
+    SwitchModel,
+    rmt_high,
+    rmt_low,
+    validate_deployment,
+)
+
+
+def test_paper_alu_bounds():
+    """RMT: 32 stages x 4-6 register ALUs = 128-192 destinations."""
+    assert rmt_low().alu_bound() == 128
+    assert rmt_high().alu_bound() == 192
+
+
+def test_paper_header_vector_bound():
+    """512-byte PHV, 32-bit stamp slots: 116 destinations (§5.4)."""
+    assert rmt_low().header_vector_bound() == 116
+    assert rmt_high().header_vector_bound() == 116
+
+
+def test_effective_limit_is_minimum():
+    assert rmt_low().max_destinations() == 116   # PHV binds
+    tiny = SwitchModel(name="tiny", stages=4, register_alus_per_stage=2,
+                       header_vector_bytes=512)
+    assert tiny.max_destinations() == 8          # ALUs bind
+
+
+def test_supports_shard_counts():
+    model = rmt_low()
+    assert model.supports(15)        # the paper's deployment
+    assert model.supports(116)
+    assert not model.supports(117)
+
+
+def test_validate_deployment_fits():
+    report = validate_deployment(15)
+    assert report["fits"]
+    assert not report["needs_global_special_case"]
+    assert report["max_destinations"] == 116
+
+
+def test_validate_deployment_wide_transactions_flagged():
+    """Systems spanning >100 shards need the paper's special-case
+    handling for global messages."""
+    report = validate_deployment(200)
+    assert not report["fits"]
+    assert report["needs_global_special_case"]
+    # But if the workload's widest transaction is narrow, it fits.
+    narrow = validate_deployment(200, max_participants=10)
+    assert narrow["fits"]
+
+
+def test_validate_rejects_useless_switch():
+    useless = SwitchModel(name="none", stages=1,
+                          register_alus_per_stage=1,
+                          header_vector_bytes=48)
+    with pytest.raises(ConfigurationError):
+        validate_deployment(1, model=useless)
+
+
+def test_negative_resources_rejected():
+    with pytest.raises(ConfigurationError):
+        SwitchModel(name="bad", stages=0, register_alus_per_stage=4,
+                    header_vector_bytes=512)

@@ -1,0 +1,99 @@
+"""Unit tests for Timer and PeriodicTimer."""
+
+import pytest
+
+from repro.sim.event_loop import EventLoop
+from repro.sim.process import PeriodicTimer, Timer
+
+
+def test_timer_fires_after_delay():
+    loop = EventLoop()
+    fired = []
+    timer = Timer(loop, 5e-3, fired.append, "x")
+    timer.start()
+    loop.run(until=4e-3)
+    assert fired == []
+    loop.run(until=6e-3)
+    assert fired == ["x"]
+
+
+def test_timer_stop_cancels():
+    loop = EventLoop()
+    fired = []
+    timer = Timer(loop, 5e-3, fired.append, "x")
+    timer.start()
+    timer.stop()
+    loop.run_until_idle()
+    assert fired == []
+
+
+def test_timer_restart_pushes_deadline():
+    loop = EventLoop()
+    fired = []
+    timer = Timer(loop, 5e-3, lambda: fired.append(loop.now))
+    timer.start()
+    loop.run(until=3e-3)
+    timer.restart()
+    loop.run_until_idle()
+    assert fired == [pytest.approx(8e-3)]
+    assert len(fired) == 1
+
+
+def test_timer_custom_delay_overrides_default():
+    loop = EventLoop()
+    fired = []
+    timer = Timer(loop, 5e-3, lambda: fired.append(loop.now))
+    timer.start(delay=1e-3)
+    loop.run_until_idle()
+    assert fired == [pytest.approx(1e-3)]
+
+
+def test_timer_active_property():
+    loop = EventLoop()
+    timer = Timer(loop, 5e-3, lambda: None)
+    assert not timer.active
+    timer.start()
+    assert timer.active
+    timer.stop()
+    assert not timer.active
+
+
+def test_periodic_fires_repeatedly():
+    loop = EventLoop()
+    fired = []
+    timer = PeriodicTimer(loop, 2e-3, lambda: fired.append(loop.now))
+    timer.start()
+    loop.run(until=7e-3)
+    assert [pytest.approx(t) for t in (2e-3, 4e-3, 6e-3)] == fired
+    timer.stop()
+
+
+def test_periodic_stop_halts_firing():
+    loop = EventLoop()
+    fired = []
+    timer = PeriodicTimer(loop, 2e-3, lambda: fired.append(1))
+    timer.start()
+    loop.run(until=5e-3)
+    timer.stop()
+    loop.run(until=20e-3)
+    assert len(fired) == 2
+
+
+def test_periodic_initial_delay():
+    loop = EventLoop()
+    fired = []
+    timer = PeriodicTimer(loop, 5e-3, lambda: fired.append(loop.now))
+    timer.start(initial_delay=1e-3)
+    loop.run(until=7e-3)
+    assert fired == [pytest.approx(1e-3), pytest.approx(6e-3)]
+    timer.stop()
+
+
+def test_periodic_stop_from_callback():
+    loop = EventLoop()
+    fired = []
+    timer = PeriodicTimer(loop, 1e-3, lambda: (fired.append(1),
+                                               timer.stop()))
+    timer.start()
+    loop.run(until=10e-3)
+    assert len(fired) == 1

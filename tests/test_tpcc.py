@@ -1,0 +1,276 @@
+"""Unit + integration tests for the TPC-C workload."""
+
+import pytest
+
+from repro.errors import TransactionAborted
+from repro.sim.randomness import SplitRandom
+from repro.store.kv import KVStore, MISSING
+from repro.store.procedures import ProcedureRegistry, TxnContext
+from repro.workloads.tpcc import (
+    TPCCConfig,
+    TPCCWorkload,
+    load_tpcc,
+    register_tpcc_procedures,
+    tpcc_partitioner,
+)
+from repro.workloads.tpcc.schema import (
+    TPCCScale,
+    customer_key,
+    district_key,
+    item_key,
+    new_order_key,
+    order_key,
+    stock_key,
+    warehouse_key,
+)
+
+SCALE = TPCCScale(n_warehouses=4, districts_per_warehouse=2,
+                  customers_per_district=5, n_items=20)
+
+
+def loaded_store(n_shards=1):
+    """One store per shard, fully loaded."""
+    part = tpcc_partitioner(n_shards)
+    stores = {s: [KVStore()] for s in range(n_shards)}
+    load_tpcc(stores, part, SCALE)
+    return part, stores
+
+
+def registry():
+    reg = ProcedureRegistry()
+    register_tpcc_procedures(reg)
+    return reg
+
+
+def ctx_for(stores, part, shard):
+    return TxnContext(stores[shard][0], shard=shard,
+                      owns=part.owns_fn(shard))
+
+
+# -- loader ----------------------------------------------------------------
+
+def test_loader_row_counts():
+    part, stores = loaded_store()
+    store = stores[0][0]
+    n_rows = len(store)
+    expected = (SCALE.n_items                       # items
+                + SCALE.n_warehouses                 # warehouses
+                + SCALE.n_warehouses * SCALE.n_items  # stock
+                + SCALE.n_warehouses * SCALE.districts_per_warehouse
+                + (SCALE.n_warehouses * SCALE.districts_per_warehouse
+                   * SCALE.customers_per_district))
+    assert n_rows == expected
+
+
+def test_items_replicated_to_every_shard():
+    part, stores = loaded_store(n_shards=2)
+    for shard in (0, 1):
+        assert stores[shard][0].get(item_key(1)) is not MISSING
+    # Warehouse rows live only with their owner shard.
+    assert stores[0][0].get(warehouse_key(0)) is not MISSING
+    assert stores[1][0].get(warehouse_key(0)) is MISSING
+    assert stores[1][0].get(warehouse_key(1)) is not MISSING
+
+
+# -- new_order ----------------------------------------------------------------
+
+def new_order_args(w=0, d=0, c=1, items=((1, 0, 3), (2, 0, 2)),
+                   invalid=False):
+    return {"w_id": w, "d_id": d, "c_id": c, "items": tuple(items),
+            "entry_d": 1, "invalid_item": invalid}
+
+
+def test_new_order_inserts_rows_and_advances_oid():
+    part, stores = loaded_store()
+    reg = registry()
+    result = reg.execute("tpcc_new_order", ctx_for(stores, part, 0),
+                         new_order_args())
+    store = stores[0][0]
+    assert result["o_id"] == 1
+    assert store.get(district_key(0, 0))["next_o_id"] == 2
+    assert store.get(order_key(0, 0, 1))["ol_cnt"] == 2
+    assert store.get(new_order_key(0, 0, 1)) == 1
+    assert result["total"] > 0
+
+
+def test_new_order_decrements_stock_with_wraparound():
+    part, stores = loaded_store()
+    reg = registry()
+    store = stores[0][0]
+    before = store.get(stock_key(0, 1))["quantity"]
+    reg.execute("tpcc_new_order", ctx_for(stores, part, 0),
+                new_order_args(items=((1, 0, 5),)))
+    after = store.get(stock_key(0, 1))["quantity"]
+    assert after == before - 5 or after == before - 5 + 91
+
+
+def test_new_order_remote_stock_updates_remote_shard_only():
+    part, stores = loaded_store(n_shards=2)
+    reg = registry()
+    args = new_order_args(w=0, items=((1, 1, 4),))  # supply warehouse 1
+    # Execute the same procedure on both shards, as Eris would.
+    r0 = reg.execute("tpcc_new_order", ctx_for(stores, part, 0), args)
+    r1 = reg.execute("tpcc_new_order", ctx_for(stores, part, 1), args)
+    assert r0["o_id"] == 1 and r1 == {}
+    stock = stores[1][0].get(stock_key(1, 1))
+    assert stock["remote_cnt"] == 1
+    assert stores[0][0].get(stock_key(0, 1))["ytd"] == 0
+
+
+def test_new_order_invalid_item_aborts_deterministically():
+    part, stores = loaded_store()
+    reg = registry()
+    with pytest.raises(TransactionAborted):
+        reg.execute("tpcc_new_order", ctx_for(stores, part, 0),
+                    new_order_args(invalid=True))
+
+
+# -- payment ----------------------------------------------------------------
+
+def test_payment_updates_ytds_and_balance():
+    part, stores = loaded_store()
+    reg = registry()
+    store = stores[0][0]
+    w_ytd = store.get(warehouse_key(0))["ytd"]
+    balance = store.get(customer_key(0, 0, 1))["balance"]
+    result = reg.execute("tpcc_payment", ctx_for(stores, part, 0),
+                         {"w_id": 0, "d_id": 0, "c_w_id": 0, "c_d_id": 0,
+                          "c_id": 1, "amount": 100.0})
+    assert store.get(warehouse_key(0))["ytd"] == w_ytd + 100.0
+    assert result["balance"] == balance - 100.0
+
+
+def test_payment_remote_customer_split_across_shards():
+    part, stores = loaded_store(n_shards=2)
+    reg = registry()
+    args = {"w_id": 0, "d_id": 0, "c_w_id": 1, "c_d_id": 1, "c_id": 2,
+            "amount": 50.0}
+    reg.execute("tpcc_payment", ctx_for(stores, part, 0), args)
+    reg.execute("tpcc_payment", ctx_for(stores, part, 1), args)
+    assert stores[0][0].get(warehouse_key(0))["ytd"] == 300_050.0
+    assert stores[1][0].get(customer_key(1, 1, 2))["balance"] == -60.0
+
+
+def test_payment_bad_credit_updates_data():
+    part, stores = loaded_store()
+    reg = registry()
+    # Customer 0 has credit "BC".
+    reg.execute("tpcc_payment", ctx_for(stores, part, 0),
+                {"w_id": 0, "d_id": 0, "c_w_id": 0, "c_d_id": 0,
+                 "c_id": 0, "amount": 10.0})
+    data = stores[0][0].get(customer_key(0, 0, 0))["data"]
+    assert data.startswith("0|0|0|10.0|")
+
+
+# -- order_status / delivery / stock_level --------------------------------
+
+def test_order_status_after_new_order():
+    part, stores = loaded_store()
+    reg = registry()
+    reg.execute("tpcc_new_order", ctx_for(stores, part, 0),
+                new_order_args(c=1))
+    result = reg.execute("tpcc_order_status", ctx_for(stores, part, 0),
+                         {"w_id": 0, "d_id": 0, "c_id": 1})
+    assert result["order"] == 1
+    assert result["carrier_id"] is None
+    assert result["lines"] == 2
+
+
+def test_order_status_without_orders():
+    part, stores = loaded_store()
+    reg = registry()
+    result = reg.execute("tpcc_order_status", ctx_for(stores, part, 0),
+                         {"w_id": 0, "d_id": 0, "c_id": 3})
+    assert result["order"] is None
+
+
+def test_delivery_processes_oldest_order_per_district():
+    part, stores = loaded_store()
+    reg = registry()
+    for d in (0, 1):
+        reg.execute("tpcc_new_order", ctx_for(stores, part, 0),
+                    new_order_args(d=d, c=2))
+    result = reg.execute("tpcc_delivery", ctx_for(stores, part, 0),
+                         {"w_id": 0, "carrier_id": 7,
+                          "n_districts": SCALE.districts_per_warehouse})
+    assert sorted(result["delivered"]) == [(0, 1), (1, 1)]
+    store = stores[0][0]
+    assert store.get(new_order_key(0, 0, 1)) is MISSING
+    assert store.get(order_key(0, 0, 1))["carrier_id"] == 7
+    customer = store.get(customer_key(0, 0, 2))
+    assert customer["delivery_cnt"] == 1
+    assert customer["balance"] > -10.0   # order total credited
+
+
+def test_delivery_idempotent_when_nothing_pending():
+    part, stores = loaded_store()
+    reg = registry()
+    result = reg.execute("tpcc_delivery", ctx_for(stores, part, 0),
+                         {"w_id": 0, "carrier_id": 1,
+                          "n_districts": SCALE.districts_per_warehouse})
+    assert result["delivered"] == []
+
+
+def test_stock_level_counts_low_stock():
+    part, stores = loaded_store()
+    reg = registry()
+    reg.execute("tpcc_new_order", ctx_for(stores, part, 0),
+                new_order_args(items=((1, 0, 3),)))
+    result = reg.execute("tpcc_stock_level", ctx_for(stores, part, 0),
+                         {"w_id": 0, "d_id": 0, "threshold": 1000})
+    assert result["low_stock"] == 1   # the one recently ordered item
+    result2 = reg.execute("tpcc_stock_level", ctx_for(stores, part, 0),
+                          {"w_id": 0, "d_id": 0, "threshold": 0})
+    assert result2["low_stock"] == 0
+
+
+# -- generator ----------------------------------------------------------------
+
+def test_generator_mix_roughly_standard():
+    config = TPCCConfig(scale=SCALE)
+    wl = TPCCWorkload(config, tpcc_partitioner(2), SplitRandom(3))
+    counts = {}
+    for _ in range(2000):
+        op = wl.next_op()
+        counts[op.proc] = counts.get(op.proc, 0) + 1
+    assert 0.40 < counts["tpcc_new_order"] / 2000 < 0.50
+    assert 0.38 < counts["tpcc_payment"] / 2000 < 0.48
+    for proc in ("tpcc_order_status", "tpcc_delivery", "tpcc_stock_level"):
+        assert 0.02 < counts[proc] / 2000 < 0.07
+
+
+def test_generator_remote_fraction_drives_distribution():
+    config = TPCCConfig(scale=SCALE, remote_fraction=1.0)
+    wl = TPCCWorkload(config, tpcc_partitioner(4), SplitRandom(3))
+    new_orders = [wl.next_op() for _ in range(400)]
+    new_orders = [op for op in new_orders if op.proc == "tpcc_new_order"]
+    distributed = [op for op in new_orders if len(op.participants) > 1]
+    assert len(distributed) > 0.8 * len(new_orders)
+
+
+def test_generator_declares_lock_sets():
+    config = TPCCConfig(scale=SCALE)
+    wl = TPCCWorkload(config, tpcc_partitioner(2), SplitRandom(3))
+    for _ in range(100):
+        op = wl.next_op()
+        if op.proc == "tpcc_new_order":
+            w, d = op.args["w_id"], op.args["d_id"]
+            assert district_key(w, d) in op.write_keys
+            for i_id, supply_w, _ in op.args["items"]:
+                assert stock_key(supply_w, i_id) in op.write_keys
+        if op.proc == "tpcc_payment":
+            assert warehouse_key(op.args["w_id"]) in op.write_keys
+
+
+def test_generator_invalid_items_rate():
+    config = TPCCConfig(scale=SCALE, invalid_item_fraction=0.5)
+    wl = TPCCWorkload(config, tpcc_partitioner(2), SplitRandom(3))
+    new_orders = [op for op in (wl.next_op() for _ in range(800))
+                  if op.proc == "tpcc_new_order"]
+    invalid = sum(1 for op in new_orders if op.args["invalid_item"])
+    assert 0.3 < invalid / len(new_orders) < 0.7
+
+
+def test_scale_validation():
+    with pytest.raises(ValueError):
+        TPCCScale(n_warehouses=0).validate()

@@ -1,0 +1,56 @@
+"""Unit tests for transaction identity types and validation."""
+
+import pytest
+
+from repro.core.transaction import IndependentTransaction, SlotId, TxnId
+
+
+def test_txn_id_ordering_and_equality():
+    a = TxnId("client-1", 1)
+    b = TxnId("client-1", 2)
+    c = TxnId("client-2", 1)
+    assert a < b < c
+    assert a == TxnId("client-1", 1)
+    assert len({a, b, c, TxnId("client-1", 1)}) == 3
+
+
+def test_slot_id_is_hashable_and_ordered():
+    s1 = SlotId(0, 1, 5)
+    s2 = SlotId(0, 1, 6)
+    s3 = SlotId(0, 2, 1)
+    assert s1 < s2 < s3   # epoch-major, sequence-minor within a shard
+    assert len({s1, s2, s3}) == 3
+
+
+def make_txn(**kwargs):
+    defaults = dict(txn_id=TxnId("c", 1), proc="p", args={},
+                    participants=(0,))
+    defaults.update(kwargs)
+    return IndependentTransaction(**defaults)
+
+
+def test_participants_required():
+    with pytest.raises(ValueError):
+        make_txn(participants=())
+
+
+def test_duplicate_participants_rejected():
+    with pytest.raises(ValueError):
+        make_txn(participants=(1, 1))
+
+
+def test_is_distributed():
+    assert not make_txn(participants=(0,)).is_distributed
+    assert make_txn(participants=(0, 1)).is_distributed
+
+
+def test_keys_on_filters_by_ownership():
+    txn = make_txn(read_keys=frozenset([1, 2]),
+                   write_keys=frozenset([2, 3]))
+    reads, writes = txn.keys_on(lambda k: k % 2 == 0)
+    assert reads == {2}
+    assert writes == {2}
+
+
+def test_default_kind_is_independent():
+    assert make_txn().kind == "independent"
