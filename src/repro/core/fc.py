@@ -86,6 +86,21 @@ class FailureCoordinator(Node):
         self.finds_resolved = 0
         self.epoch_changes_completed = 0
 
+    # -- observability ----------------------------------------------------
+    def _trace(self, kind: str, **data) -> None:
+        tracer = self.network.tracer
+        if tracer is not None:
+            tracer.record(kind, self.address, **data)
+
+    def instrument(self, registry) -> None:
+        """Register the FC's live counters as pull-gauges."""
+        registry.gauge("fc", "finds_resolved", fn=lambda: self.finds_resolved)
+        registry.gauge("fc", "drops_decided", fn=lambda: self.drops_decided)
+        registry.gauge("fc", "epoch_changes_completed",
+                       fn=lambda: self.epoch_changes_completed)
+        registry.gauge("fc", "messages_processed",
+                       fn=lambda: self.messages_processed)
+
     # -- helpers ----------------------------------------------------------
     def _all_replicas(self) -> list[Address]:
         return [addr for addrs in self.shards.values() for addr in addrs]
@@ -142,6 +157,8 @@ class FailureCoordinator(Node):
         if slot not in self.found:
             self.found[slot] = msg.record
             self.finds_resolved += 1
+            self._trace("fc_found", slot=[slot.shard, slot.epoch, slot.seq],
+                        reporter=src)
         self._finish_find(slot, TxnFound(slot=slot, record=self.found[slot]),
                           self._participants_of(self.found[slot]))
 
@@ -165,6 +182,8 @@ class FailureCoordinator(Node):
         if all(q.satisfied() is not None for q in state.quorums.values()):
             self.dropped.add(slot)
             self.drops_decided += 1
+            self._trace("fc_dropped",
+                        slot=[slot.shard, slot.epoch, slot.seq])
             self._finish_find(slot, TxnDropped(slot=slot),
                               self._all_replicas())
 
@@ -193,6 +212,7 @@ class FailureCoordinator(Node):
             return
         change = _EpochChange(new_epoch=new_epoch)
         self._epoch_changes[new_epoch] = change
+        self._trace("fc_epoch_collect", epoch=new_epoch)
         self._broadcast_state_request(new_epoch)
         change.timer = self.timer(self.retry_timeout,
                                   self._retry_epoch_change, new_epoch)
@@ -260,6 +280,8 @@ class FailureCoordinator(Node):
                                view_num=view, log=tuple(new_log))
             change.start_msgs[shard] = start
             change.acks[shard] = set()
+            self._trace("fc_epoch_start", epoch=change.new_epoch,
+                        shard=shard, view=view, log_len=len(new_log))
             for addr in addrs:
                 self.send(addr, start)
         self.epoch_changes_completed += 1

@@ -78,6 +78,19 @@ class ErisConfig:
     oum_mode: bool = False           # Eris-OUM strawman (Fig 11)
 
 
+def _slot_fields(slot: SlotId) -> list:
+    """Flat JSON-friendly slot triple for trace events."""
+    return [slot.shard, slot.epoch, slot.seq]
+
+
+def _entry_txn(entry: LogEntry) -> Optional[str]:
+    """Stable transaction label for trace events ("client:seq")."""
+    if entry.kind != "txn":
+        return None
+    txn_id = entry.record.txn.txn_id
+    return f"{txn_id.client}:{txn_id.seq}"
+
+
 @dataclass
 class _Recovery:
     slot: SlotId
@@ -152,6 +165,45 @@ class ErisReplica(Node):
         self.txns_processed = 0
         self.drops_recovered_from_peer = 0
         self.drops_escalated_to_fc = 0
+
+    # -- observability ----------------------------------------------------
+    @property
+    def tracer(self):
+        return self.network.tracer
+
+    def _trace_append(self, entry: LogEntry) -> None:
+        tracer = self.network.tracer
+        if tracer is None:
+            return
+        data = {"shard": self.shard, "index": entry.index,
+                "entry_kind": entry.kind, "slot": _slot_fields(entry.slot),
+                "txn": _entry_txn(entry)}
+        if entry.kind == "txn":
+            data["participants"] = list(entry.record.txn.participants)
+        tracer.record("log_append", self.address, **data)
+
+    def _trace_apply(self, entry: LogEntry) -> None:
+        tracer = self.network.tracer
+        if tracer is None:
+            return
+        tracer.record("apply", self.address, shard=self.shard,
+                      index=entry.index, entry_kind=entry.kind,
+                      txn=_entry_txn(entry))
+
+    def instrument(self, registry) -> None:
+        """Register this replica's live counters as pull-gauges."""
+        component = f"replica/{self.address}"
+        registry.gauge(component, "txns_processed",
+                       fn=lambda: self.txns_processed)
+        registry.gauge(component, "log_len", fn=lambda: self.log.last_index)
+        registry.gauge(component, "view_num", fn=lambda: self.view_num)
+        registry.gauge(component, "epoch_num", fn=lambda: self.epoch_num)
+        registry.gauge(component, "peer_recoveries",
+                       fn=lambda: self.drops_recovered_from_peer)
+        registry.gauge(component, "fc_escalations",
+                       fn=lambda: self.drops_escalated_to_fc)
+        registry.gauge(component, "messages_processed",
+                       fn=lambda: self.messages_processed)
 
     # -- roles ----------------------------------------------------------
     @property
@@ -240,6 +292,8 @@ class ErisReplica(Node):
 
     def _append_noop(self, slot: SlotId) -> None:
         entry = self.log.append_noop(slot)
+        if self.network.tracer is not None:
+            self._trace_append(entry)
         if self.is_dl:
             self._feed_entry(entry)
 
@@ -250,11 +304,15 @@ class ErisReplica(Node):
             # it does not participate in — CPU was burned, slot consumed,
             # nothing to do (the cost Figure 11 measures).
             self.log.append_noop(slot)
+            if self.network.tracer is not None:
+                self._trace_append(self.log.get(self.log.last_index))
             if self.is_dl:
                 self._feed_entry(self.log.get(self.log.last_index))
             return
         entry = self.log.append_txn(slot, record)
         self.txns_processed += 1
+        if self.network.tracer is not None:
+            self._trace_append(entry)
         self._cancel_recovery(slot)
         if self.is_dl:
             self._feed_entry(entry, reply_to=txn.txn_id.client)
@@ -265,6 +323,8 @@ class ErisReplica(Node):
                     reply_to: Optional[Address] = None) -> None:
         """Feed the engine in log order (DL live path / catch-up)."""
         self._fed.append((entry.slot, entry.kind))
+        if self.network.tracer is not None:
+            self._trace_apply(entry)
         if entry.kind == "txn":
             self.busy(self.config.execution_cost)
             txn = entry.record.txn
@@ -303,6 +363,10 @@ class ErisReplica(Node):
     def _start_recovery(self, slot: SlotId) -> None:
         if slot in self._recovering or slot.seq < self.channel.next_seq:
             return
+        if self.network.tracer is not None:
+            self.network.tracer.record("recovery_start", self.address,
+                                       shard=self.shard,
+                                       slot=_slot_fields(slot))
         recovery = _Recovery(slot=slot, phase="wait")
         recovery.timer = self.timer(self.config.drop_detection_delay,
                                     self._begin_peer_recovery, slot)
@@ -332,6 +396,10 @@ class ErisReplica(Node):
             return
         recovery.phase = "fc"
         self.drops_escalated_to_fc += 1
+        if self.network.tracer is not None:
+            self.network.tracer.record("recovery_fc", self.address,
+                                       shard=self.shard,
+                                       slot=_slot_fields(slot))
         self.send(self.fc_address, FindTxn(slot=slot, sender=self.address))
         recovery.timer = self.timer(self.config.fc_retry_timeout,
                                     self._escalate_to_fc, slot)
@@ -361,6 +429,11 @@ class ErisReplica(Node):
             return
         if msg.entry is not None:
             self.drops_recovered_from_peer += 1
+            if self.network.tracer is not None:
+                self.network.tracer.record("recovery_peer", self.address,
+                                           shard=self.shard,
+                                           slot=_slot_fields(msg.slot),
+                                           peer=src)
             self._resolve_slot(msg.slot, msg.entry)
             return
         if msg.dropped:
@@ -439,6 +512,11 @@ class ErisReplica(Node):
     def _sync_tick(self) -> None:
         if not self.is_dl or self.status != "normal" or self.crashed:
             return
+        if self.network.tracer is not None:
+            self.network.tracer.record("sync", self.address,
+                                       shard=self.shard, view=self.view_num,
+                                       epoch=self.epoch_num,
+                                       log_len=self.log.last_index)
         for peer in self._peers():
             from_index = self._peer_synced.get(peer, 0) + 1
             self.send(peer, SyncLog(
@@ -470,6 +548,8 @@ class ErisReplica(Node):
             adopted = (self.log.append_txn(entry.slot, entry.record)
                        if entry.kind == "txn"
                        else self.log.append_noop(entry.slot))
+            if self.network.tracer is not None:
+                self._trace_append(adopted)
             self._cancel_recovery(entry.slot)
             if adopted.kind == "txn":
                 self._reply(adopted.record.txn, adopted.index,
@@ -486,6 +566,8 @@ class ErisReplica(Node):
             self.busy(self.config.execution_cost if entry.kind == "txn"
                       else 0.0)
             self._fed.append((entry.slot, entry.kind))
+            if self.network.tracer is not None:
+                self._trace_apply(entry)
             if entry.kind == "txn":
                 self.engine.feed(entry)
         self.send(src, SyncAck(
@@ -528,6 +610,10 @@ class ErisReplica(Node):
         self.status = "view-change"
         self.view_num = new_view
         self._vc_pending_view = new_view
+        if self.network.tracer is not None:
+            self.network.tracer.record("view_change_start", self.address,
+                                       shard=self.shard, view=new_view,
+                                       epoch=self.epoch_num)
         self._sync_timer.stop()
         message = ViewChange(
             shard=self.shard,
@@ -610,6 +696,11 @@ class ErisReplica(Node):
         self.status = "normal"
         self._vc_pending_view = None
         del self._vc_merged_log
+        if self.network.tracer is not None:
+            self.network.tracer.record("view_change_complete", self.address,
+                                       shard=self.shard, view=self.view_num,
+                                       epoch=self.epoch_num, role="dl",
+                                       log_len=self.log.last_index)
         for peer in self._peers():
             self.send(peer, StartView(
                 shard=self.shard,
@@ -636,6 +727,11 @@ class ErisReplica(Node):
         self._adopt_log(list(msg.log))
         self.status = "normal"
         self._vc_pending_view = None
+        if self.network.tracer is not None:
+            self.network.tracer.record("view_change_complete", self.address,
+                                       shard=self.shard, view=self.view_num,
+                                       epoch=self.epoch_num, role="follower",
+                                       log_len=self.log.last_index)
         self._become_role()
         self._drain()
 
@@ -652,6 +748,9 @@ class ErisReplica(Node):
         if new_epoch <= self._promised_epoch and self.status == "epoch-change":
             return
         self.status = "epoch-change"
+        if self.network.tracer is not None:
+            self.network.tracer.record("epoch_change_start", self.address,
+                                       shard=self.shard, epoch=new_epoch)
         self._sync_timer.stop()
         self._vc_timer.stop()
         self.send(self.fc_address, EpochChangeReq(
@@ -703,6 +802,11 @@ class ErisReplica(Node):
                 self.log.last_seq(self.channel.epoch) + 1):
             self._apply_upcall(upcall)
         self._peer_synced = {a: 0 for a in self._peers()}
+        if self.network.tracer is not None:
+            self.network.tracer.record("epoch_change_complete", self.address,
+                                       shard=self.shard, epoch=msg.new_epoch,
+                                       view=self.view_num,
+                                       log_len=self.log.last_index)
         self._become_role()
         if self.is_dl:
             self._catch_up_engine(reply=True)
@@ -724,6 +828,12 @@ class ErisReplica(Node):
             for i in range(len(self._fed))
         )
         self.log.replace(entries)
+        if self.network.tracer is not None:
+            self.network.tracer.record(
+                "log_adopt", self.address, shard=self.shard,
+                rebuilt=mismatch,
+                entries=[[e.index, e.kind, _entry_txn(e),
+                          _slot_fields(e.slot)] for e in entries])
         if mismatch:
             self.store.load(self.initial_snapshot)
             self.engine.reset()

@@ -22,10 +22,14 @@ from repro.harness.checkers import (
     check_atomicity,
     check_replica_consistency,
     check_serializability,
+    check_trace_atomicity,
+    check_trace_replica_consistency,
+    check_trace_serializability,
     run_all_checks,
+    run_trace_checks,
 )
 from repro.harness.faults import FaultPlan
-from repro.harness.results import format_table
+from repro.harness.results import format_metrics, format_table
 
 __all__ = [
     "Cluster",
@@ -37,6 +41,11 @@ __all__ = [
     "check_atomicity",
     "check_replica_consistency",
     "check_serializability",
+    "check_trace_atomicity",
+    "check_trace_replica_consistency",
+    "check_trace_serializability",
+    "run_trace_checks",
     "FaultPlan",
+    "format_metrics",
     "format_table",
 ]

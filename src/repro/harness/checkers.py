@@ -1,6 +1,16 @@
 """Correctness checkers for Eris executions (§6.7 invariants).
 
-These operate on a finished cluster's replica state:
+Two interchangeable evidence sources:
+
+- **replica state** — a finished cluster's logs and stores (the
+  original checkers);
+- **a causal trace** — the ``log_append`` / ``log_adopt`` event stream
+  recorded by :class:`repro.obs.trace.Tracer`, so the same invariants
+  are checkable on an exported JSONL file long after the cluster is
+  gone, and on executions reconstructed event-by-event rather than from
+  end state.
+
+The invariants:
 
 - **serializability** — build the cross-shard precedence graph over
   transactions from each shard's committed log order; strict
@@ -9,10 +19,13 @@ These operate on a finished cluster's replica state:
 - **atomicity** — a transaction committed at any participant appears in
   the log of *every* participant shard.
 - **replica consistency** — within each shard, all replicas' logs are
-  prefix-consistent and executed stores converge after a drain.
+  prefix-consistent (and, state-side, executed stores converge after a
+  drain).
 """
 
 from __future__ import annotations
+
+from typing import Optional, Union
 
 import networkx as nx
 
@@ -20,6 +33,7 @@ from repro.core.replica import ErisReplica
 from repro.core.transaction import TxnId
 from repro.errors import InvariantViolation
 from repro.harness.cluster import Cluster
+from repro.obs.trace import TraceEvent, Tracer, load_trace
 
 
 def _live_dl(shard: int, replicas) -> ErisReplica:
@@ -125,7 +139,159 @@ def check_replica_consistency(cluster: Cluster) -> None:
                     f"state differs from the DL's")
 
 
-def run_all_checks(cluster: Cluster) -> None:
-    check_serializability(cluster)
-    check_atomicity(cluster)
-    check_replica_consistency(cluster)
+# -- trace-backed checkers -------------------------------------------------
+
+#: What the trace checkers accept: a JSONL path, a live Tracer, or a
+#: sequence of TraceEvent objects / flat event dicts.
+TraceLike = Union[str, Tracer, list]
+
+
+def _trace_events(trace: TraceLike) -> list[dict]:
+    if isinstance(trace, str):
+        return load_trace(trace)
+    if isinstance(trace, Tracer):
+        trace = trace.events
+    return [e.to_dict() if isinstance(e, TraceEvent) else e for e in trace]
+
+
+def trace_replica_orders(trace: TraceLike
+                         ) -> dict[int, dict[str, list[tuple]]]:
+    """Per shard, per replica, the log as ``(slot, kind, txn)`` tuples
+    in append order, reconstructed from ``log_append`` events with
+    ``log_adopt`` (view/epoch-change log replacement) applied."""
+    orders: dict[int, dict[str, list[tuple]]] = {}
+    for event in _trace_events(trace):
+        kind = event["kind"]
+        if kind == "log_append":
+            shard_orders = orders.setdefault(event["shard"], {})
+            shard_orders.setdefault(event["node"], []).append(
+                (tuple(event["slot"]), event["entry_kind"], event["txn"]))
+        elif kind == "log_adopt":
+            shard_orders = orders.setdefault(event["shard"], {})
+            shard_orders[event["node"]] = [
+                (tuple(slot), entry_kind, txn)
+                for _index, entry_kind, txn, slot in event["entries"]]
+    return orders
+
+
+def _trace_participants(trace: TraceLike) -> dict[str, tuple]:
+    """txn label → participant shards, from ``log_append`` events."""
+    participants: dict[str, tuple] = {}
+    for event in _trace_events(trace):
+        if event["kind"] == "log_append" and event.get("txn") is not None \
+                and "participants" in event:
+            participants[event["txn"]] = tuple(event["participants"])
+    return participants
+
+
+def _trace_shard_txn_orders(orders: dict[int, dict[str, list[tuple]]],
+                            crashed: set[str] = frozenset()
+                            ) -> dict[int, list[str]]:
+    """Per shard, the deduplicated txn order of the longest *live*
+    replica log (mirrors the state checkers' use of the most advanced
+    live replica)."""
+    out: dict[int, list[str]] = {}
+    for shard, replica_orders in orders.items():
+        live = [order for node, order in replica_orders.items()
+                if node not in crashed]
+        longest = max(live, key=len, default=[])
+        seen: set[str] = set()
+        order: list[str] = []
+        for _slot, entry_kind, txn in longest:
+            if entry_kind != "txn" or txn in seen:
+                continue
+            seen.add(txn)
+            order.append(txn)
+        out[shard] = order
+    return out
+
+
+def _trace_crashed_nodes(trace: TraceLike) -> set[str]:
+    return {e["node"] for e in _trace_events(trace) if e["kind"] == "crash"}
+
+
+def check_trace_replica_consistency(trace: TraceLike) -> None:
+    """Within each shard, every pair of recorded replica logs must be
+    prefix-consistent on (slot, kind). Crashed replicas are excluded
+    (mirroring the state checkers): a dead DL's final appends may
+    legitimately be superseded by the view/epoch change that buried it.
+    """
+    events = _trace_events(trace)
+    crashed = _trace_crashed_nodes(events)
+    for shard, replica_orders in trace_replica_orders(events).items():
+        nodes = sorted(n for n in replica_orders if n not in crashed)
+        for i, a in enumerate(nodes):
+            for b in nodes[i + 1:]:
+                for index, (mine, theirs) in enumerate(
+                        zip(replica_orders[a], replica_orders[b])):
+                    if mine[:2] != theirs[:2]:
+                        raise InvariantViolation(
+                            f"trace log divergence in shard {shard} at "
+                            f"index {index + 1}: {a} has {mine[:2]}, "
+                            f"{b} has {theirs[:2]}")
+
+
+def check_trace_serializability(trace: TraceLike) -> None:
+    """Cross-shard precedence graph over the traced per-shard commit
+    orders must be acyclic."""
+    events = _trace_events(trace)
+    orders = _trace_shard_txn_orders(trace_replica_orders(events),
+                                     _trace_crashed_nodes(events))
+    graph = nx.DiGraph()
+    for order in orders.values():
+        for earlier, later in zip(order, order[1:]):
+            graph.add_edge(earlier, later)
+    try:
+        cycle = nx.find_cycle(graph)
+    except nx.NetworkXNoCycle:
+        return
+    raise InvariantViolation(
+        f"trace precedence cycle across shards: {cycle[:10]}")
+
+
+def check_trace_atomicity(trace: TraceLike) -> None:
+    """A traced transaction logged at any shard appears at every
+    participant shard."""
+    events = _trace_events(trace)
+    orders = _trace_shard_txn_orders(trace_replica_orders(events),
+                                     _trace_crashed_nodes(events))
+    participants = _trace_participants(events)
+    logged = {shard: set(order) for shard, order in orders.items()}
+    for shard, order in orders.items():
+        for txn in order:
+            for participant in participants.get(txn, ()):
+                if participant not in logged:
+                    continue
+                if txn not in logged[participant]:
+                    raise InvariantViolation(
+                        f"trace: txn {txn} logged at shard {shard} but "
+                        f"missing at participant shard {participant}")
+
+
+def run_trace_checks(trace: TraceLike) -> None:
+    """All trace-backed invariant checks on one event stream."""
+    events = _trace_events(trace)
+    check_trace_replica_consistency(events)
+    check_trace_serializability(events)
+    check_trace_atomicity(events)
+
+
+def run_all_checks(cluster: Optional[Cluster] = None,
+                   trace: Optional[TraceLike] = None) -> None:
+    """Run every applicable invariant check.
+
+    ``cluster`` drives the state-based checkers; ``trace`` (a JSONL
+    path, a live Tracer, or an event list) additionally drives the
+    trace-backed checkers. Passing a traced cluster alone checks its
+    live tracer too.
+    """
+    if cluster is None and trace is None:
+        raise ValueError("run_all_checks needs a cluster, a trace, or both")
+    if cluster is not None:
+        check_serializability(cluster)
+        check_atomicity(cluster)
+        check_replica_consistency(cluster)
+        if trace is None and cluster.tracer is not None:
+            trace = cluster.tracer
+    if trace is not None:
+        run_trace_checks(trace)

@@ -8,6 +8,14 @@ scripted without writing Python::
         --distributed 0.2 --zipf 0.9 --shards 3 --clients 200
     python -m repro.harness.cli --system lockstore --workload tpcc
     python -m repro.harness.cli --list-systems
+
+With ``--trace PATH`` the run records a causal trace (``repro.obs``)
+and exports it as JSONL; ``--metrics`` prints the per-component metric
+table after the run. The ``trace`` subcommand summarizes a previously
+exported trace::
+
+    python -m repro.harness.cli --system eris --trace run.jsonl --metrics
+    python -m repro.harness.cli trace run.jsonl
 """
 
 from __future__ import annotations
@@ -18,7 +26,7 @@ from typing import Optional, Sequence
 
 from repro.harness.cluster import SYSTEMS, ClusterConfig, build_cluster
 from repro.harness.experiment import ExperimentConfig, run_experiment
-from repro.harness.results import format_table, write_csv
+from repro.harness.results import format_metrics, format_table, write_csv
 from repro.net.network import NetConfig
 from repro.sim.randomness import SplitRandom
 from repro.store import ProcedureRegistry
@@ -68,7 +76,21 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument("--csv", metavar="PATH",
                         help="append the result as a CSV row")
+    parser.add_argument("--trace", metavar="PATH",
+                        help="record a causal trace and export it as JSONL")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print the per-component metric table")
     parser.add_argument("--list-systems", action="store_true")
+    return parser
+
+
+def build_trace_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.harness.cli trace",
+        description="Summarize an exported JSONL causal trace.")
+    parser.add_argument("path", help="trace file (JSONL)")
+    parser.add_argument("--check", action="store_true",
+                        help="also run the trace-backed invariant checkers")
     return parser
 
 
@@ -102,17 +124,75 @@ def run(args: argparse.Namespace):
             partitioner, SplitRandom(args.seed + 1))
     result = run_experiment(cluster, workload, ExperimentConfig(
         n_clients=args.clients, warmup=args.warmup,
-        duration=args.duration, count_filter=count_filter))
+        duration=args.duration, count_filter=count_filter,
+        trace_path=getattr(args, "trace", None)))
     return cluster, result
 
 
+def trace_main(argv: Sequence[str]) -> int:
+    """The ``trace`` subcommand: summarize (and optionally check) a
+    previously exported JSONL trace."""
+    from repro.harness.checkers import run_trace_checks
+    from repro.obs import load_trace, summarize_trace
+
+    args = build_trace_parser().parse_args(argv)
+    try:
+        events = load_trace(args.path)
+    except OSError as exc:
+        print(f"error: cannot read trace: {exc}", file=sys.stderr)
+        return 2
+    summary = summarize_trace(events)
+    rows = [["events", summary["events"]],
+            ["sends", summary["sends"]],
+            ["delivers", summary["delivers"]],
+            ["drops", summary["drops"]],
+            ["drop_rate", f"{summary['drop_rate'] * 100:.2f}%"],
+            ["reorders", summary["reorders"]],
+            ["view_changes", summary["view_changes"]],
+            ["epoch_changes", summary["epoch_changes"]]]
+    for name, count in summary["recoveries"].items():
+        rows.append([f"recovery.{name}", count])
+    print(format_table(["stat", "value"], rows, title=args.path))
+    if summary["kinds"]:
+        print(format_table(
+            ["event kind", "count"],
+            [[kind, count] for kind, count in summary["kinds"].items()],
+            title="\nevents by kind"))
+    if summary["stamps"]:
+        print(format_table(
+            ["sequence space", "stamped", "max_seq", "gaps"],
+            [[space, s["stamped"], s["max_seq"], s["gaps"]]
+             for space, s in summary["stamps"].items()],
+            title="\nmulti-stamp statistics"))
+    if args.check:
+        from repro.errors import InvariantViolation
+        try:
+            run_trace_checks(events)
+        except InvariantViolation as exc:
+            print(f"\ntrace-backed invariant checks: FAILED\n  {exc}",
+                  file=sys.stderr)
+            return 1
+        print("\ntrace-backed invariant checks: OK")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "trace":
+        return trace_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.list_systems:
         print("\n".join(SYSTEMS))
         return 0
-    _, result = run(args)
+    if args.trace:
+        # Fail on an unwritable path now, not after the simulation.
+        try:
+            open(args.trace, "w").close()
+        except OSError as exc:
+            print(f"error: cannot write trace: {exc}", file=sys.stderr)
+            return 2
+    cluster, result = run(args)
     headers = ["system", "workload", "shards", "clients", "txn/s",
                "mean_us", "p99_us", "committed", "aborted", "retries"]
     row = [args.system, args.workload, args.shards, args.clients,
@@ -123,6 +203,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.csv:
         write_csv(args.csv, headers, [row], append=True)
         print(f"appended to {args.csv}")
+    if args.trace:
+        print(f"trace: {len(cluster.tracer)} events -> {args.trace}")
+    if args.metrics:
+        print()
+        print(format_metrics(cluster.metrics_snapshot()))
     return 0
 
 

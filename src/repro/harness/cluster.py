@@ -27,6 +27,7 @@ from repro.net.controller import ControllerConfig, SDNController
 from repro.net.network import NetConfig, Network
 from repro.net.oum import OUMSequencer
 from repro.net.sequencer import MultiSequencer, SequencerProfile
+from repro.obs import MetricsRegistry, Tracer
 from repro.replication.vr import VRConfig
 from repro.sim.event_loop import EventLoop
 from repro.sim.randomness import SplitRandom
@@ -60,6 +61,9 @@ class ClusterConfig:
     #: Ablation: one-phase commit for single-shard Lock-Store txns
     #: (the paper's Lock-Store always runs the full 2PC exchange).
     lockstore_one_phase: bool = False
+    #: Attach a causal tracer (``repro.obs``) at build time. Off by
+    #: default: benchmarks pay only a per-packet None check.
+    tracing: bool = False
     eris: ErisConfig = field(default_factory=ErisConfig)
     controller: ControllerConfig = field(default_factory=ControllerConfig)
     vr: VRConfig = field(default_factory=VRConfig)
@@ -106,6 +110,39 @@ class Cluster:
         self.fc: Optional[FailureCoordinator] = None
         self._clients: list[SystemClient] = []
         self._client_counter = 0
+        self.tracer: Optional[Tracer] = None
+        self.metrics = MetricsRegistry()
+
+    # -- observability -----------------------------------------------------
+    def enable_tracing(self) -> Tracer:
+        """Attach a causal tracer to the fabric (idempotent) and wire
+        the per-component metrics registry."""
+        if self.tracer is None:
+            self.tracer = Tracer(clock=lambda: self.loop.now)
+            self.network.tracer = self.tracer
+        self.instrument_metrics()
+        return self.tracer
+
+    def instrument_metrics(self) -> None:
+        """Register pull-gauges for every component that supports them
+        (event loop, fabric, sequencers, Eris replicas, FC). Safe to
+        call repeatedly; zero hot-path cost."""
+        self.loop.instrument(self.metrics)
+        self.network.instrument(self.metrics)
+        for sequencer in self.sequencers:
+            sequencer.instrument(self.metrics)
+        if self.fc is not None:
+            self.fc.instrument(self.metrics)
+        for replicas in self.replicas.values():
+            for replica in replicas:
+                instrument = getattr(replica, "instrument", None)
+                if instrument is not None:
+                    instrument(self.metrics)
+
+    def metrics_snapshot(self) -> dict:
+        """Current per-component metric values (instruments lazily)."""
+        self.instrument_metrics()
+        return self.metrics.snapshot()
 
     # -- store access (used by loaders and checkers) -----------------------
     def shard_stores(self, shard: int) -> list[KVStore]:
@@ -153,6 +190,8 @@ def build_cluster(config: ClusterConfig, registry: ProcedureRegistry,
     cluster = Cluster(config, registry, partitioner)
     builder = _BUILDERS[config.system]
     builder(cluster)
+    if config.tracing:
+        cluster.enable_tracing()
     if loader is not None:
         loader(cluster.stores, partitioner)
     return cluster

@@ -31,6 +31,9 @@ class ExperimentConfig:
     count_filter: Optional[Callable[[WorkloadOp], bool]] = None
     #: Optional bucket width for a throughput time series (Fig 14).
     timeseries_bucket: Optional[float] = None
+    #: Export the cluster's causal trace as JSONL here after the run.
+    #: Tracing is enabled on the cluster if it is not already.
+    trace_path: Optional[str] = None
 
 
 @dataclass
@@ -89,6 +92,8 @@ def run_experiment(cluster: Cluster, workload,
     caller accepts that warmup is relative to the current clock.
     """
     config = config or ExperimentConfig()
+    if config.trace_path is not None:
+        cluster.enable_tracing()
     loop = cluster.loop
     start = loop.now
     window_start = start + config.warmup
@@ -125,6 +130,9 @@ def run_experiment(cluster: Cluster, workload,
         loop.schedule(i * 1e-6, driver.start)
 
     loop.run(until=window_end + config.drain)
+
+    if config.trace_path is not None:
+        cluster.tracer.export(config.trace_path)
 
     mean = latencies.mean()
     return ExperimentResult(

@@ -60,6 +60,21 @@ def write_csv(path: str, headers: Sequence[str], rows: Sequence[Sequence],
         writer.writerows(rows)
 
 
+def format_metrics(snapshot: dict, title: str = "metrics") -> str:
+    """Render a :meth:`Cluster.metrics_snapshot` as one per-component
+    table. Histogram summaries are flattened to ``name.count``,
+    ``name.p99``... rows."""
+    rows = []
+    for component, metrics in sorted(snapshot.items()):
+        for name, value in sorted(metrics.items()):
+            if isinstance(value, dict):
+                for stat, stat_value in value.items():
+                    rows.append([component, f"{name}.{stat}", stat_value])
+            else:
+                rows.append([component, name, value])
+    return format_table(["component", "metric", "value"], rows, title=title)
+
+
 def speedup(numerator: float, denominator: float) -> str:
     """'3.6x'-style ratio, guarding division by zero."""
     if denominator <= 0:

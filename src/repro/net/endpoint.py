@@ -144,6 +144,8 @@ class Node:
     def crash(self) -> None:
         """Fail-stop: drop all future deliveries and sends."""
         self.crashed = True
+        if self.network.tracer is not None:
+            self.network.tracer.record("crash", self.address)
 
     def recover_address(self) -> None:  # pragma: no cover - used by demos
         self.crashed = False

@@ -69,9 +69,12 @@ class Packet:
     multistamp: Optional[MultiStamp] = None
     sequenced: bool = False
     packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    #: Causal id assigned by an attached tracer at injection time; all
+    #: fan-out copies of one logical message share it (None untraced).
+    trace_id: Optional[int] = None
 
     def copy_to(self, dst: Address) -> "Packet":
-        """A per-recipient copy sharing payload and stamp."""
+        """A per-recipient copy sharing payload, stamp, and causal id."""
         return Packet(
             src=self.src,
             dst=dst,
@@ -79,4 +82,5 @@ class Packet:
             groupcast=self.groupcast,
             multistamp=self.multistamp,
             sequenced=self.sequenced,
+            trace_id=self.trace_id,
         )

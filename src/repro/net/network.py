@@ -71,6 +71,10 @@ class Network:
         #: Deterministic drop hook for tests: packets for which this
         #: returns True are silently discarded.
         self.drop_filter: Optional[Callable[[Packet], bool]] = None
+        #: Optional :class:`repro.obs.trace.Tracer`. Hot paths guard
+        #: every hook with one ``is not None`` check so the disabled
+        #: path stays effectively free.
+        self.tracer = None
 
     # -- registration ----------------------------------------------------
     def register(self, node: "Node") -> None:
@@ -90,6 +94,17 @@ class Network:
     def has_endpoint(self, address: Address) -> bool:
         return address in self._endpoints
 
+    # -- observability -----------------------------------------------------
+    def instrument(self, registry) -> None:
+        """Register pull-gauges over the fabric's live counters on a
+        :class:`repro.obs.metrics.MetricsRegistry` (zero hot-path cost)."""
+        registry.gauge("net", "packets_sent", fn=lambda: self.packets_sent)
+        registry.gauge("net", "packets_dropped",
+                       fn=lambda: self.packets_dropped)
+        registry.gauge("net", "packets_delivered",
+                       fn=lambda: self.packets_delivered)
+        registry.gauge("net", "endpoints", fn=lambda: len(self._endpoints))
+
     # -- routing control (exercised by the SDN controller) ---------------
     def install_sequencer_route(self, address: Optional[Address]) -> None:
         """Point the groupcast route at a sequencer (None = black hole).
@@ -105,6 +120,8 @@ class Network:
         """Inject a packet. Unicast goes to ``packet.dst``; groupcast
         fans out (via the sequencer when ``packet.sequenced``)."""
         self.packets_sent += 1
+        if self.tracer is not None:
+            self.tracer.packet_send(packet)
         if packet.groupcast is not None and packet.multistamp is None:
             self._route_groupcast(packet)
         else:
@@ -127,22 +144,27 @@ class Network:
         if self.sequencer_address is None or not self.has_endpoint(
             self.sequencer_address
         ):
-            self.packets_dropped += 1
+            self._drop(packet, "no-sequencer-route")
             return
         self._transmit(packet.copy_to(self.sequencer_address))
+
+    def _drop(self, packet: Packet, reason: str) -> None:
+        self.packets_dropped += 1
+        if self.tracer is not None:
+            self.tracer.packet_drop(packet, reason)
 
     def _transmit(self, packet: Packet) -> None:
         if packet.dst not in self._endpoints:
             # Destination crashed / deregistered: packet is lost.
-            self.packets_dropped += 1
+            self._drop(packet, "dead-destination")
             return
         if self.drop_filter is not None and self.drop_filter(packet):
-            self.packets_dropped += 1
+            self._drop(packet, "drop-filter")
             return
         if self.config.drop_rate > 0.0 and packet.dst not in self.lossless \
                 and packet.src not in self.lossless:
             if self.rng.random() < self.config.drop_rate:
-                self.packets_dropped += 1
+                self._drop(packet, "random-loss")
                 return
         latency = self.config.base_latency
         if self.config.jitter > 0.0:
@@ -152,12 +174,16 @@ class Network:
             link = (packet.src, packet.dst)
             arrival = max(arrival, self._link_clock.get(link, 0.0) + 1e-9)
             self._link_clock[link] = arrival
+        if self.tracer is not None:
+            self.tracer.packet_tx(packet)
         self.loop.schedule_at(arrival, self._arrive, packet)
 
     def _arrive(self, packet: Packet) -> None:
         node = self._endpoints.get(packet.dst)
         if node is None:
-            self.packets_dropped += 1
+            self._drop(packet, "dead-destination")
             return
         self.packets_delivered += 1
+        if self.tracer is not None:
+            self.tracer.packet_deliver(packet)
         node.deliver(packet)

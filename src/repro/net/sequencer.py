@@ -107,7 +107,17 @@ class MultiSequencer(Node):
             stamps.append((group, seq))
         packet.multistamp = MultiStamp(epoch=self.epoch, stamps=tuple(stamps))
         self.packets_stamped += 1
+        if self.network.tracer is not None:
+            self.network.tracer.sequencer_stamp(self.address, packet)
         return packet
+
+    def instrument(self, registry) -> None:
+        """Register this sequencer's live counters as pull-gauges."""
+        registry.gauge(self.address, "packets_stamped",
+                       fn=lambda: self.packets_stamped)
+        registry.gauge(self.address, "epoch", fn=lambda: self.epoch)
+        registry.gauge(self.address, "groups_stamped",
+                       fn=lambda: len(self.counters))
 
     def service_time_for(self, packet: Packet) -> float:
         return self.profile.per_packet_service

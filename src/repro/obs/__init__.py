@@ -1,0 +1,38 @@
+"""Observability: causal message tracing and per-component metrics.
+
+- :mod:`repro.obs.trace` — :class:`Tracer` assigns causal ids to
+  packets at send time and records structured protocol events
+  (send/deliver/drop/reorder/stamp/apply/view-change/epoch-change/...)
+  exportable as JSONL.
+- :mod:`repro.obs.metrics` — :class:`MetricsRegistry` of counters,
+  gauges, and log-bucketed histograms keyed by (component, name).
+
+Both are strictly opt-in: with no tracer attached the simulator's hot
+paths pay one ``is not None`` check per packet.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    nearest_rank_index,
+)
+from repro.obs.trace import (
+    TraceEvent,
+    Tracer,
+    load_trace,
+    summarize_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "nearest_rank_index",
+    "TraceEvent",
+    "Tracer",
+    "load_trace",
+    "summarize_trace",
+]

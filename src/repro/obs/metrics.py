@@ -1,0 +1,211 @@
+"""Counters, gauges, and log-bucketed histograms, per component.
+
+A :class:`MetricsRegistry` is the single place a simulation registers
+everything it wants counted. Instruments are keyed by
+``(component, name)`` where *component* identifies one simulated entity
+("net", "seq0", "replica/eris-r0.1", "fc", "sim") and *name* is a
+lowercase_underscore measurement ("packets_sent", "stamp_latency").
+The naming convention is documented in DESIGN.md.
+
+Two instrument styles coexist:
+
+- **push** — hot paths call ``Counter.inc`` / ``Histogram.record``;
+- **pull** — a :class:`Gauge` wraps a zero-argument callable and is
+  sampled only when a snapshot is taken, so wiring existing plain-int
+  counters (``network.packets_sent``...) into the registry costs the
+  hot path nothing at all.
+
+Histograms bucket by powers of a growth factor (default 2), which keeps
+memory constant regardless of sample count while preserving
+order-of-magnitude latency shape; percentiles are answered at bucket
+granularity. Exact nearest-rank percentile math lives in
+:func:`nearest_rank_index`, shared with
+:class:`repro.sim.stats.LatencyRecorder`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional
+
+
+def nearest_rank_index(n: int, p: float) -> int:
+    """Index of the nearest-rank percentile ``p`` in a sorted sequence
+    of length ``n``.
+
+    Pinned semantics: p=0 is the minimum (rank 1), p=100 the maximum
+    (rank n), p=50 the ceil(n/2)-th smallest. ``p`` outside [0, 100]
+    is a caller bug and raises.
+    """
+    if not 0.0 <= p <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100]: {p}")
+    if n <= 0:
+        raise ValueError("empty sequence has no percentiles")
+    rank = math.ceil(p / 100.0 * n)
+    return min(n, max(1, rank)) - 1
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def get(self) -> int:
+        return self.value
+
+
+class Gauge:
+    """A point-in-time value: either set directly or pulled from a
+    callable at snapshot time."""
+
+    __slots__ = ("_value", "_fn")
+
+    def __init__(self, fn: Optional[Callable[[], float]] = None) -> None:
+        self._value = 0.0
+        self._fn = fn
+
+    def set(self, value: float) -> None:
+        self._value = value
+
+    def get(self) -> float:
+        if self._fn is not None:
+            return self._fn()
+        return self._value
+
+
+class Histogram:
+    """Log-bucketed distribution of non-negative samples.
+
+    Bucket ``i`` holds samples in ``(scale * growth**(i-1),
+    scale * growth**i]``; bucket 0 holds ``[0, scale]``. With the
+    default microsecond ``scale`` and growth 2, forty buckets span
+    sub-microsecond to hours.
+    """
+
+    __slots__ = ("scale", "growth", "_log_growth", "buckets", "count",
+                 "total", "min", "max")
+
+    def __init__(self, scale: float = 1e-6, growth: float = 2.0) -> None:
+        if scale <= 0 or growth <= 1:
+            raise ValueError("need scale > 0 and growth > 1")
+        self.scale = scale
+        self.growth = growth
+        self._log_growth = math.log(growth)
+        self.buckets: dict[int, int] = {}
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def record(self, value: float) -> None:
+        if value < 0:
+            raise ValueError(f"histogram samples must be >= 0: {value}")
+        if value <= self.scale:
+            index = 0
+        else:
+            index = math.ceil(math.log(value / self.scale)
+                              / self._log_growth)
+        self.buckets[index] = self.buckets.get(index, 0) + 1
+        self.count += 1
+        self.total += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+
+    def mean(self) -> float:
+        if self.count == 0:
+            return math.nan
+        return self.total / self.count
+
+    def bucket_upper(self, index: int) -> float:
+        """Inclusive upper bound of bucket ``index``."""
+        if index == 0:
+            return self.scale
+        return self.scale * self.growth ** index
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile at bucket granularity: the upper
+        bound of the bucket containing the ranked sample (exact min/max
+        at p=0/p=100)."""
+        if self.count == 0:
+            return math.nan
+        if p == 0.0:
+            return self.min
+        if p == 100.0:
+            return self.max
+        target = nearest_rank_index(self.count, p) + 1  # 1-based rank
+        seen = 0
+        for index in sorted(self.buckets):
+            seen += self.buckets[index]
+            if seen >= target:
+                return min(self.bucket_upper(index), self.max)
+        return self.max  # unreachable; defensive
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "mean": self.mean(),
+            "min": self.min if self.count else math.nan,
+            "max": self.max if self.count else math.nan,
+            "p50": self.percentile(50),
+            "p99": self.percentile(99),
+        }
+
+
+class MetricsRegistry:
+    """All instruments of one simulation, keyed (component, name)."""
+
+    def __init__(self) -> None:
+        self._instruments: dict[tuple[str, str], object] = {}
+
+    # -- registration (get-or-create, so call sites stay declarative) ------
+    def counter(self, component: str, name: str) -> Counter:
+        return self._get_or_create(component, name, Counter)
+
+    def gauge(self, component: str, name: str,
+              fn: Optional[Callable[[], float]] = None) -> Gauge:
+        key = (component, name)
+        existing = self._instruments.get(key)
+        if existing is None:
+            existing = Gauge(fn)
+            self._instruments[key] = existing
+        elif fn is not None:
+            existing._fn = fn  # re-wiring after a rebuild is allowed
+        if not isinstance(existing, Gauge):
+            raise TypeError(f"{key} already registered as "
+                            f"{type(existing).__name__}")
+        return existing
+
+    def histogram(self, component: str, name: str,
+                  scale: float = 1e-6, growth: float = 2.0) -> Histogram:
+        return self._get_or_create(component, name, lambda:
+                                   Histogram(scale=scale, growth=growth))
+
+    def _get_or_create(self, component: str, name: str, factory):
+        key = (component, name)
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = factory()
+            self._instruments[key] = instrument
+        return instrument
+
+    # -- introspection ------------------------------------------------------
+    def components(self) -> list[str]:
+        return sorted({component for component, _ in self._instruments})
+
+    def snapshot(self) -> dict[str, dict[str, object]]:
+        """``{component: {name: value}}`` with gauges sampled now and
+        histograms summarized."""
+        out: dict[str, dict[str, object]] = {}
+        for (component, name), instrument in sorted(self._instruments.items()):
+            bucket = out.setdefault(component, {})
+            if isinstance(instrument, Histogram):
+                bucket[name] = instrument.snapshot()
+            else:
+                bucket[name] = instrument.get()
+        return out

@@ -1,0 +1,219 @@
+"""Causal message tracing for simulated runs.
+
+A :class:`Tracer` attached to the network (``network.tracer``) observes
+every packet at its injection point and assigns it a **causal id**; the
+id travels with the packet through the sequencer and every per-recipient
+fan-out copy (``Packet.copy_to`` propagates it), so all events of one
+logical message share one id and a trace consumer can reconstruct the
+full lifecycle: send → stamp → deliver (per recipient) / drop.
+
+Protocol layers add their own structured events on top — replica log
+appends and applies, view changes, epoch changes, drop recovery, FC
+decisions, DL synchronization — giving the correctness checkers in
+:mod:`repro.harness.checkers` a first-class event stream to validate
+instead of end-state spot checks.
+
+The event schema (documented in DESIGN.md) is flat JSON with four
+reserved keys — ``ts`` (simulation seconds), ``kind``, ``node``,
+``cause`` (causal id, -1 when not tied to a message) — plus
+kind-specific fields. ``Tracer.export`` writes JSONL;
+:func:`load_trace` reads it back.
+
+Tracing is strictly opt-in: hot paths hold a ``tracer`` reference that
+is ``None`` by default and guard every hook with one ``is not None``
+check, so benchmark throughput is unaffected when tracing is off.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Optional
+
+#: Reserved top-level keys of the flat event schema.
+RESERVED_KEYS = ("ts", "kind", "node", "cause")
+
+
+@dataclass
+class TraceEvent:
+    """One structured observation. ``data`` holds kind-specific fields."""
+
+    ts: float
+    kind: str
+    node: str
+    cause: int = -1
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        out = {"ts": self.ts, "kind": self.kind, "node": self.node,
+               "cause": self.cause}
+        out.update(self.data)
+        return out
+
+
+def _payload_name(packet) -> str:
+    return type(packet.payload).__name__
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` records in simulation-time order."""
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None):
+        self.clock = clock or (lambda: 0.0)
+        self.events: list[TraceEvent] = []
+        self._causes = itertools.count(1)
+        # Per-link transmit bookkeeping for reorder detection: packets
+        # between one (src, dst) pair are numbered at transmit time; a
+        # delivery whose number is below the link's high-water mark was
+        # overtaken in flight.
+        self._tx_seq: dict[int, tuple[tuple[str, str], int]] = {}
+        self._link_next: dict[tuple[str, str], int] = {}
+        self._link_seen: dict[tuple[str, str], int] = {}
+
+    # -- generic recording -------------------------------------------------
+    def record(self, kind: str, node: str, cause: int = -1,
+               **data: Any) -> TraceEvent:
+        for key in RESERVED_KEYS:
+            if key in data:
+                raise ValueError(f"{key!r} is a reserved trace field")
+        event = TraceEvent(ts=self.clock(), kind=kind, node=node,
+                           cause=cause, data=data)
+        self.events.append(event)
+        return event
+
+    # -- packet lifecycle (called from repro.net.network) -------------------
+    def packet_send(self, packet) -> None:
+        """Logical injection: assigns the causal id."""
+        if packet.trace_id is None:
+            packet.trace_id = next(self._causes)
+        data: dict[str, Any] = {"msg": _payload_name(packet)}
+        if packet.groupcast is not None:
+            data["groups"] = list(packet.groupcast.groups)
+            data["sequenced"] = packet.sequenced
+        else:
+            data["dst"] = packet.dst
+        self.record("send", packet.src, cause=packet.trace_id, **data)
+
+    def packet_tx(self, packet) -> None:
+        """Per-copy transmit bookkeeping (no event; feeds reorder
+        detection at delivery time)."""
+        link = (packet.src, packet.dst)
+        seq = self._link_next.get(link, 0) + 1
+        self._link_next[link] = seq
+        self._tx_seq[packet.packet_id] = (link, seq)
+
+    def packet_deliver(self, packet) -> None:
+        cause = packet.trace_id if packet.trace_id is not None else -1
+        tx = self._tx_seq.pop(packet.packet_id, None)
+        if tx is not None:
+            link, seq = tx
+            seen = self._link_seen.get(link, 0)
+            if seq < seen:
+                self.record("reorder", packet.dst, cause=cause,
+                            src=packet.src, overtaken_by=seen - seq)
+            else:
+                self._link_seen[link] = seq
+        self.record("deliver", packet.dst, cause=cause,
+                    src=packet.src, msg=_payload_name(packet))
+
+    def packet_drop(self, packet, reason: str) -> None:
+        cause = packet.trace_id if packet.trace_id is not None else -1
+        self._tx_seq.pop(packet.packet_id, None)
+        self.record("drop", packet.dst or "", cause=cause,
+                    src=packet.src, msg=_payload_name(packet),
+                    reason=reason)
+
+    def sequencer_stamp(self, node: str, packet) -> None:
+        stamp = packet.multistamp
+        cause = packet.trace_id if packet.trace_id is not None else -1
+        self.record("stamp", node, cause=cause, epoch=stamp.epoch,
+                    stamps=[[gid, seq] for gid, seq in stamp.stamps])
+
+    # -- export / query -----------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def count(self, kind: str) -> int:
+        return sum(1 for e in self.events if e.kind == kind)
+
+    def select(self, kind: str, node: Optional[str] = None
+               ) -> list[TraceEvent]:
+        return [e for e in self.events
+                if e.kind == kind and (node is None or e.node == node)]
+
+    def export(self, path: str) -> int:
+        """Write the trace as JSONL; returns the event count."""
+        with open(path, "w") as handle:
+            for event in self.events:
+                handle.write(json.dumps(event.to_dict()) + "\n")
+        return len(self.events)
+
+
+def load_trace(path: str) -> list[dict[str, Any]]:
+    """Read a JSONL trace back as a list of flat event dicts."""
+    events = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+def _as_dicts(events: Iterable) -> list[dict[str, Any]]:
+    """Accept TraceEvent objects or already-flat dicts uniformly."""
+    return [e.to_dict() if isinstance(e, TraceEvent) else e for e in events]
+
+
+def summarize_trace(events: Iterable) -> dict[str, Any]:
+    """Aggregate statistics of one trace: message counts, drop reasons,
+    reorders, per-(epoch, group) stamp gap statistics, recovery and
+    view/epoch-change activity. This is what ``repro.harness.cli
+    trace`` renders."""
+    flat = _as_dicts(events)
+    kinds: dict[str, int] = {}
+    drops: dict[str, int] = {}
+    stamp_hi: dict[tuple[int, int], int] = {}   # (epoch, group) -> max seq
+    stamp_n: dict[tuple[int, int], int] = {}    # (epoch, group) -> count
+    for event in flat:
+        kind = event["kind"]
+        kinds[kind] = kinds.get(kind, 0) + 1
+        if kind == "drop":
+            reason = event.get("reason", "unknown")
+            drops[reason] = drops.get(reason, 0) + 1
+        elif kind == "stamp":
+            epoch = event["epoch"]
+            for gid, seq in event["stamps"]:
+                key = (epoch, gid)
+                stamp_hi[key] = max(stamp_hi.get(key, 0), seq)
+                stamp_n[key] = stamp_n.get(key, 0) + 1
+    sends = kinds.get("send", 0)
+    delivers = kinds.get("deliver", 0)
+    dropped = kinds.get("drop", 0)
+    stamp_stats = {
+        f"epoch{epoch}/group{gid}": {
+            "stamped": stamp_n[(epoch, gid)],
+            "max_seq": hi,
+            "gaps": hi - stamp_n[(epoch, gid)],
+        }
+        for (epoch, gid), hi in sorted(stamp_hi.items())
+    }
+    return {
+        "events": len(flat),
+        "kinds": dict(sorted(kinds.items())),
+        "sends": sends,
+        "delivers": delivers,
+        "drops": dropped,
+        "drop_reasons": dict(sorted(drops.items())),
+        "drop_rate": dropped / sends if sends else 0.0,
+        "reorders": kinds.get("reorder", 0),
+        "stamps": stamp_stats,
+        "recoveries": {
+            "started": kinds.get("recovery_start", 0),
+            "peer_resolved": kinds.get("recovery_peer", 0),
+            "fc_escalated": kinds.get("recovery_fc", 0),
+        },
+        "view_changes": kinds.get("view_change_complete", 0),
+        "epoch_changes": kinds.get("epoch_change_complete", 0),
+    }

@@ -282,6 +282,10 @@ class VRReplica(Node):
     def _start_view_change(self, new_view: int) -> None:
         self.view = new_view
         self.vr_status = "view-change"
+        if self.network.tracer is not None:
+            self.network.tracer.record(
+                "view_change_start", self.address, protocol="vr",
+                shard=getattr(self, "shard", -1), view=new_view)
         self._heartbeat.stop()
         votes = self._start_view_changes.setdefault(new_view, set())
         votes.add(self.address)
@@ -359,6 +363,12 @@ class VRReplica(Node):
         self.view = view
         self.vr_status = "normal"
         self._last_normal_view = view
+        if self.network.tracer is not None:
+            self.network.tracer.record(
+                "view_change_complete", self.address, protocol="vr",
+                shard=getattr(self, "shard", -1), view=view,
+                role="leader" if self.leader_address == self.address
+                else "follower")
         self._ack_counts = {}
         self._callbacks = {}
         self._start_view_changes = {v: s for v, s in

@@ -107,6 +107,15 @@ class EventLoop:
             self.events_processed += processed
             self._running = False
 
+    def instrument(self, registry) -> None:
+        """Register the loop's live counters as pull-gauges on a
+        :class:`repro.obs.metrics.MetricsRegistry`. Pull-based, so the
+        event dispatch hot path is untouched."""
+        registry.gauge("sim", "now", fn=lambda: self.now)
+        registry.gauge("sim", "events_processed",
+                       fn=lambda: self.events_processed)
+        registry.gauge("sim", "events_pending", fn=lambda: self.pending)
+
     def run_until_idle(self, max_events: int = 10_000_000) -> None:
         """Drain the queue completely (bounded by ``max_events``)."""
         self.run(max_events=max_events)

@@ -11,6 +11,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.obs.metrics import nearest_rank_index
+
 
 class LatencyRecorder:
     """Collects latency samples inside an optional measurement window."""
@@ -41,13 +43,16 @@ class LatencyRecorder:
         return sum(self.samples) / len(self.samples)
 
     def percentile(self, p: float) -> float:
-        """Nearest-rank percentile, p in [0, 100]."""
+        """Nearest-rank percentile, p in [0, 100].
+
+        p=0 is the minimum, p=100 the maximum (rank-clamping lives in
+        :func:`repro.obs.metrics.nearest_rank_index`, shared with the
+        log-bucketed histograms); p outside [0, 100] raises.
+        """
         if not self.samples:
             return math.nan
         ordered = sorted(self.samples)
-        rank = max(0, min(len(ordered) - 1,
-                          math.ceil(p / 100.0 * len(ordered)) - 1))
-        return ordered[rank]
+        return ordered[nearest_rank_index(len(ordered), p)]
 
     def median(self) -> float:
         return self.percentile(50)

@@ -106,3 +106,97 @@ def test_second_failover_uses_third_sequencer():
     assert cluster.authoritative_store(0).get(0) == 3
     dl = next(r for r in cluster.replicas[0] if r.is_dl and not r.crashed)
     assert dl.epoch_num == 3
+
+
+# -- fault matrix: loss / reordering during the epoch change itself --------
+
+import pytest
+
+
+@pytest.mark.parametrize("drop_rate", [0.05, 0.2])
+def test_epoch_change_completes_under_packet_loss(drop_rate):
+    """Packet loss while the epoch change runs: EPOCH-CHANGE-REQ /
+    EPOCH-CHANGE-STATE / START-EPOCH themselves get dropped; the FC's
+    retry timers must push the change through anyway."""
+    cluster = make_ycsb_cluster(n_shards=2, controller=fast_controller(),
+                                tracing=True)
+    client = cluster.make_client()
+    for i in range(4):
+        submit_and_wait(cluster, client, rmw_op([i], cluster.partitioner))
+    now = cluster.loop.now
+    plan = FaultPlan(cluster)
+    plan.kill_sequencer_at(now + 1e-3)
+    plan.set_drop_rate_at(now + 1e-3, drop_rate)
+    plan.set_drop_rate_at(now + 0.25, 0.0)
+    drive(cluster, 0.6)
+    # Trigger the lazy epoch change with new-epoch traffic, retried by
+    # the client through any residual instability.
+    result = submit_and_wait(cluster, client,
+                             rmw_op([0, 1], cluster.partitioner),
+                             timeout=2.0)
+    assert result.committed
+    drive(cluster, 0.3)
+    tracer = cluster.tracer
+    assert tracer.count("epoch_change_start") >= 1
+    assert tracer.count("epoch_change_complete") >= cluster.config.n_shards
+    assert tracer.count("drop") > 0
+    # Heavy loss can drop health-check pings too, triggering extra
+    # (legitimate) failovers — converge on the controller's final epoch.
+    final_epoch = cluster.controller.current_epoch
+    assert final_epoch >= 2
+    for replicas in cluster.replicas.values():
+        for replica in replicas:
+            if not replica.crashed:
+                assert replica.epoch_num == final_epoch
+                assert replica.status == "normal"
+    run_all_checks(cluster)
+
+
+def test_epoch_change_with_reordered_links():
+    cluster = make_ycsb_cluster(n_shards=2, controller=fast_controller(),
+                                tracing=True)
+    cluster.network.config.fifo_links = False
+    cluster.network.config.jitter = 30e-6    # >> back-to-back send gaps
+    clients = [cluster.make_client() for _ in range(5)]
+    done = []
+    # Batched submission: several packets in flight on the SAME link at
+    # once, which is what lets jitter invert their arrival order.
+    for c in clients:
+        for i in range(8):
+            c.submit(rmw_op([i % 4, 4 + i % 3], cluster.partitioner),
+                     done.append)
+    FaultPlan(cluster).kill_sequencer_at(cluster.loop.now + 2e-3)
+    drive(cluster, 1.0)
+    committed = [r for r in done if r.committed]
+    assert len(committed) >= 5 * 8 - 5       # clients retry through it
+    # The epoch change is triggered lazily by new-epoch traffic.
+    result = submit_and_wait(cluster, clients[0],
+                             rmw_op([0, 1], cluster.partitioner),
+                             timeout=1.0)
+    assert result.committed
+    drive(cluster, 0.2)
+    tracer = cluster.tracer
+    assert tracer.count("reorder") > 0
+    assert tracer.count("epoch_change_complete") >= cluster.config.n_shards
+    run_all_checks(cluster)
+
+
+def test_epoch_change_trace_records_fc_collection():
+    """The FC's side of the §6.5 protocol shows up in the trace: one
+    collection start, then a per-shard epoch start."""
+    cluster = make_ycsb_cluster(n_shards=2, controller=fast_controller(),
+                                tracing=True)
+    client = cluster.make_client()
+    submit_and_wait(cluster, client, rmw_op([0], cluster.partitioner))
+    cluster.crash_active_sequencer()
+    drive(cluster, 0.3)
+    submit_and_wait(cluster, client, rmw_op([0], cluster.partitioner),
+                    timeout=1.0)
+    drive(cluster, 0.1)
+    tracer = cluster.tracer
+    collects = tracer.select("fc_epoch_collect")
+    starts = tracer.select("fc_epoch_start")
+    assert len(collects) >= 1 and collects[0].data["epoch"] == 2
+    assert {e.data["shard"] for e in starts} == {0, 1}
+    assert tracer.count("epoch_change_complete") >= 2
+    run_all_checks(cluster)

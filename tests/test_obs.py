@@ -1,0 +1,237 @@
+"""Unit tests for the observability subsystem (repro.obs)."""
+
+import json
+import math
+
+import pytest
+
+from repro.net.message import GroupcastHeader, MultiStamp, Packet
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Tracer,
+    load_trace,
+    nearest_rank_index,
+    summarize_trace,
+)
+
+
+def _packet(src="a", dst="b", payload="hello", **kwargs) -> Packet:
+    return Packet(src=src, dst=dst, payload=payload, **kwargs)
+
+
+# -- Tracer ----------------------------------------------------------------
+
+def test_tracer_assigns_causal_ids_at_send():
+    tracer = Tracer()
+    p1, p2 = _packet(), _packet()
+    tracer.packet_send(p1)
+    tracer.packet_send(p2)
+    assert p1.trace_id == 1
+    assert p2.trace_id == 2
+    assert [e.cause for e in tracer.select("send")] == [1, 2]
+
+
+def test_tracer_causal_id_survives_fanout():
+    tracer = Tracer()
+    packet = _packet(dst=None,
+                     groupcast=GroupcastHeader(groups=(0, 1)),
+                     sequenced=True)
+    tracer.packet_send(packet)
+    copy = packet.copy_to("r0")
+    assert copy.trace_id == packet.trace_id
+    tracer.packet_tx(copy)
+    tracer.packet_deliver(copy)
+    (deliver,) = tracer.select("deliver")
+    assert deliver.cause == packet.trace_id
+    (send,) = tracer.select("send")
+    assert send.data["groups"] == [0, 1]
+    assert send.data["sequenced"] is True
+
+
+def test_tracer_clock_and_reserved_keys():
+    now = [0.0]
+    tracer = Tracer(clock=lambda: now[0])
+    tracer.record("sync", "n0", shard=0)
+    now[0] = 2.5
+    event = tracer.record("sync", "n1", shard=1)
+    assert event.ts == 2.5
+    assert tracer.events[0].ts == 0.0
+    with pytest.raises(ValueError):
+        tracer.record("bad", "n0", ts=1.0)  # reserved schema field
+
+
+def test_tracer_detects_reorder():
+    tracer = Tracer()
+    first, second = _packet(), _packet()
+    tracer.packet_send(first)
+    tracer.packet_send(second)
+    tracer.packet_tx(first)
+    tracer.packet_tx(second)
+    # Second transmitted packet overtakes the first in flight.
+    tracer.packet_deliver(second)
+    tracer.packet_deliver(first)
+    (reorder,) = tracer.select("reorder")
+    assert reorder.cause == first.trace_id
+    assert reorder.data["overtaken_by"] == 1
+    assert tracer.count("deliver") == 2
+
+
+def test_tracer_no_reorder_on_in_order_links():
+    tracer = Tracer()
+    packets = [_packet() for _ in range(5)]
+    for p in packets:
+        tracer.packet_send(p)
+        tracer.packet_tx(p)
+    for p in packets:
+        tracer.packet_deliver(p)
+    assert tracer.count("reorder") == 0
+
+
+def test_tracer_drop_and_stamp_events():
+    tracer = Tracer()
+    packet = _packet(dst=None,
+                     groupcast=GroupcastHeader(groups=(0, 2)),
+                     sequenced=True)
+    tracer.packet_send(packet)
+    packet.multistamp = MultiStamp(epoch=3, stamps=((0, 7), (2, 9)))
+    tracer.sequencer_stamp("seq0", packet)
+    tracer.packet_drop(packet, reason="random-loss")
+    (stamp,) = tracer.select("stamp")
+    assert stamp.node == "seq0"
+    assert stamp.data == {"epoch": 3, "stamps": [[0, 7], [2, 9]]}
+    (drop,) = tracer.select("drop")
+    assert drop.data["reason"] == "random-loss"
+    assert drop.cause == packet.trace_id
+
+
+def test_tracer_export_and_load_roundtrip(tmp_path):
+    tracer = Tracer(clock=lambda: 1.25)
+    packet = _packet()
+    tracer.packet_send(packet)
+    tracer.record("apply", "r0", shard=0, index=1, entry_kind="txn",
+                  txn="3:1")
+    path = str(tmp_path / "trace.jsonl")
+    assert tracer.export(path) == 2
+    events = load_trace(path)
+    assert len(events) == 2
+    assert events[0]["kind"] == "send"
+    assert events[1] == {"ts": 1.25, "kind": "apply", "node": "r0",
+                         "cause": -1, "shard": 0, "index": 1,
+                         "entry_kind": "txn", "txn": "3:1"}
+    with open(path) as handle:       # every line is standalone JSON
+        for line in handle:
+            json.loads(line)
+
+
+def test_summarize_trace_counts_and_stamp_gaps():
+    tracer = Tracer()
+    for seq in (1, 2, 4):            # seq 3 never stamped: one gap
+        packet = _packet(dst=None, groupcast=GroupcastHeader(groups=(0,)),
+                         sequenced=True)
+        tracer.packet_send(packet)
+        packet.multistamp = MultiStamp(epoch=1, stamps=((0, seq),))
+        tracer.sequencer_stamp("seq0", packet)
+    tracer.packet_drop(_packet(), reason="random-loss")
+    summary = summarize_trace(tracer.events)
+    assert summary["sends"] == 3
+    assert summary["drops"] == 1
+    assert summary["drop_reasons"] == {"random-loss": 1}
+    assert summary["drop_rate"] == pytest.approx(1 / 3)
+    assert summary["stamps"]["epoch1/group0"] == {
+        "stamped": 3, "max_seq": 4, "gaps": 1}
+    assert summary["view_changes"] == 0
+    assert summary["epoch_changes"] == 0
+
+
+def test_summarize_trace_accepts_flat_dicts():
+    events = [{"ts": 0.0, "kind": "send", "node": "a", "cause": 1},
+              {"ts": 0.1, "kind": "deliver", "node": "b", "cause": 1},
+              {"ts": 0.2, "kind": "view_change_complete", "node": "r0",
+               "cause": -1}]
+    summary = summarize_trace(events)
+    assert summary["events"] == 3
+    assert summary["delivers"] == 1
+    assert summary["view_changes"] == 1
+
+
+# -- metrics ---------------------------------------------------------------
+
+def test_nearest_rank_semantics():
+    # 10 samples: p0 -> rank 1, p50 -> rank 5, p100 -> rank 10.
+    assert nearest_rank_index(10, 0) == 0
+    assert nearest_rank_index(10, 50) == 4
+    assert nearest_rank_index(10, 100) == 9
+    assert nearest_rank_index(1, 0) == 0
+    assert nearest_rank_index(1, 100) == 0
+    with pytest.raises(ValueError):
+        nearest_rank_index(10, -1)
+    with pytest.raises(ValueError):
+        nearest_rank_index(10, 100.5)
+    with pytest.raises(ValueError):
+        nearest_rank_index(0, 50)
+
+
+def test_counter_and_gauge():
+    counter = Counter()
+    counter.inc()
+    counter.inc(4)
+    assert counter.get() == 5
+    gauge = Gauge()
+    gauge.set(2.5)
+    assert gauge.get() == 2.5
+    backing = [7]
+    pull = Gauge(fn=lambda: backing[0])
+    assert pull.get() == 7
+    backing[0] = 9
+    assert pull.get() == 9
+
+
+def test_histogram_percentiles_and_snapshot():
+    hist = Histogram(scale=1.0, growth=2.0)
+    for value in (0.5, 1.5, 3.0, 100.0):
+        hist.record(value)
+    assert hist.count == 4
+    assert hist.mean() == pytest.approx(26.25)
+    assert hist.percentile(0) == 0.5          # exact min
+    assert hist.percentile(100) == 100.0      # exact max
+    # p50 -> rank 2 -> bucket (1, 2] -> upper bound 2.0
+    assert hist.percentile(50) == 2.0
+    snap = hist.snapshot()
+    assert snap["count"] == 4
+    assert snap["min"] == 0.5 and snap["max"] == 100.0
+    with pytest.raises(ValueError):
+        hist.record(-1.0)
+
+
+def test_histogram_empty():
+    hist = Histogram()
+    assert math.isnan(hist.mean())
+    assert math.isnan(hist.percentile(50))
+    assert math.isnan(hist.snapshot()["p99"])
+
+
+def test_registry_get_or_create_and_snapshot():
+    registry = MetricsRegistry()
+    counter = registry.counter("net", "packets_sent")
+    assert registry.counter("net", "packets_sent") is counter
+    counter.inc(3)
+    registry.gauge("sim", "now", fn=lambda: 1.5)
+    registry.histogram("net", "latency", scale=1.0).record(2.0)
+    snap = registry.snapshot()
+    assert snap["net"]["packets_sent"] == 3
+    assert snap["sim"]["now"] == 1.5
+    assert snap["net"]["latency"]["count"] == 1
+    assert registry.components() == ["net", "sim"]
+
+
+def test_registry_gauge_rewire_and_type_clash():
+    registry = MetricsRegistry()
+    registry.gauge("sim", "now", fn=lambda: 1.0)
+    registry.gauge("sim", "now", fn=lambda: 2.0)   # rebuild re-wires
+    assert registry.snapshot()["sim"]["now"] == 2.0
+    registry.counter("net", "x")
+    with pytest.raises(TypeError):
+        registry.gauge("net", "x")

@@ -67,3 +67,33 @@ def test_timeseries_origin_shift():
 
 def test_timeseries_empty():
     assert TimeSeries(bucket_width=1.0).series() == []
+
+
+def test_percentile_nearest_rank_pinned_semantics():
+    """Nearest-rank edges: p0 is the minimum (not an out-of-range
+    index), p100 the maximum, p50 the ceil(n/2)-th smallest."""
+    recorder = LatencyRecorder()
+    for value in (5.0, 1.0, 3.0, 2.0, 4.0):
+        recorder.record(0.0, value)
+    assert recorder.percentile(0) == 1.0
+    assert recorder.percentile(100) == 5.0
+    assert recorder.percentile(50) == 3.0
+    assert recorder.percentile(40) == 2.0   # ceil(0.4 * 5) = rank 2
+    assert recorder.percentile(41) == 3.0   # ceil(0.41 * 5) = rank 3
+
+
+def test_percentile_single_sample_all_edges():
+    recorder = LatencyRecorder()
+    recorder.record(0.0, 7.0)
+    assert recorder.percentile(0) == 7.0
+    assert recorder.percentile(50) == 7.0
+    assert recorder.percentile(100) == 7.0
+
+
+def test_percentile_rejects_out_of_range():
+    recorder = LatencyRecorder()
+    recorder.record(0.0, 1.0)
+    with pytest.raises(ValueError):
+        recorder.percentile(-0.1)
+    with pytest.raises(ValueError):
+        recorder.percentile(100.1)
