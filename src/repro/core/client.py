@@ -55,6 +55,15 @@ class _PendingTxn:
     retries: int = 0
 
 
+@dataclass
+class _PendingRecon:
+    """Waiters for one outstanding (replica, key) reconnaissance read."""
+
+    callbacks: list[Callable[[Any, Any], None]]
+    timer: Optional[Timer] = None
+    retries: int = 0
+
+
 class ErisClient(Node):
     """Submits independent transactions and tracks quorum replies."""
 
@@ -68,10 +77,20 @@ class ErisClient(Node):
         self.max_retries = max_retries
         self._seq = 0
         self._pending: dict[TxnId, _PendingTxn] = {}
-        self._recon_pending: dict[Any, list[Callable[[Any, Any], None]]] = {}
+        # Keyed by (replica, key): concurrent reads of one key from
+        # *different* replicas are distinct requests and must not share
+        # waiters — a stale replica's reply may satisfy only its own.
+        self._recon_pending: dict[tuple[Address, Any], _PendingRecon] = {}
         self.committed_count = 0
         self.aborted_count = 0
+        #: Submissions abandoned after ``max_retries`` retransmissions
+        #: without reaching quorum. Every completed submission lands in
+        #: exactly one of committed/aborted/timedout, so
+        #: ``committed_count + aborted_count + timedout_count`` equals
+        #: the number of callbacks fired.
+        self.timedout_count = 0
         self.retry_count = 0
+        self.recon_retry_count = 0
 
     # -- submission --------------------------------------------------------
     def next_txn_id(self) -> TxnId:
@@ -124,6 +143,11 @@ class ErisClient(Node):
         self.retry_count += 1
         if pending.retries > self.max_retries:
             del self._pending[txn_id]
+            # The give-up is a completed (failed) submission and must be
+            # counted, or committed+aborted+timedout drifts from the
+            # number of finished submissions and harness failure-rate
+            # stats silently undercount.
+            self.timedout_count += 1
             outcome = TxnOutcome(txn_id=txn_id, committed=False, results={},
                                  latency=self.loop.now - pending.start_time,
                                  retries=pending.retries)
@@ -177,14 +201,50 @@ class ErisClient(Node):
     def recon(self, replica: Address, key: Any,
               callback: Callable[[Any, Any], None]) -> None:
         """Non-transactional read of ``key`` from ``replica``;
-        ``callback(key, value)`` fires on the reply."""
-        self._recon_pending.setdefault(key, []).append(callback)
+        ``callback(key, value)`` fires on the reply.
+
+        Requests are keyed by ``(replica, key)``: a reply only releases
+        waiters for the replica it came from, so a read deliberately
+        sent to a specific replica cannot be satisfied by another
+        (possibly stale) replica's answer. §7.1's general transactions
+        depend on recon for their reads, so a dropped ``ReconReply``
+        must not strand them: the read is retransmitted on the client's
+        retry timeout; after ``max_retries`` attempts the waiters fire
+        with ``None`` (replica unreachable)."""
+        rkey = (replica, key)
+        entry = self._recon_pending.get(rkey)
+        if entry is not None:
+            entry.callbacks.append(callback)
+            return
+        entry = _PendingRecon(callbacks=[callback])
+        entry.timer = self.timer(self.retry_timeout, self._recon_retry, rkey)
+        entry.timer.start()
+        self._recon_pending[rkey] = entry
         self.send(replica, ReconRead(key=key))
+
+    def _recon_retry(self, rkey: tuple[Address, Any]) -> None:
+        entry = self._recon_pending.get(rkey)
+        if entry is None:
+            return
+        entry.retries += 1
+        self.recon_retry_count += 1
+        replica, key = rkey
+        if entry.retries > self.max_retries:
+            del self._recon_pending[rkey]
+            for callback in entry.callbacks:
+                callback(key, None)
+            return
+        self.send(replica, ReconRead(key=key))
+        entry.timer.start()
 
     def on_ReconReply(self, src: Address, msg: ReconReply,
                       packet: Packet) -> None:
-        waiters = self._recon_pending.pop(msg.key, [])
-        for callback in waiters:
+        entry = self._recon_pending.pop((src, msg.key), None)
+        if entry is None:
+            return
+        if entry.timer is not None:
+            entry.timer.stop()
+        for callback in entry.callbacks:
             callback(msg.key, msg.value)
 
     # -- introspection ------------------------------------------------------

@@ -58,7 +58,7 @@ class MultiStamp:
         return tuple(gid for gid, _ in self.stamps)
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """One message in flight. Copied (shallowly) at fan-out points."""
 
@@ -74,13 +74,18 @@ class Packet:
     trace_id: Optional[int] = None
 
     def copy_to(self, dst: Address) -> "Packet":
-        """A per-recipient copy sharing payload, stamp, and causal id."""
-        return Packet(
-            src=self.src,
-            dst=dst,
-            payload=self.payload,
-            groupcast=self.groupcast,
-            multistamp=self.multistamp,
-            sequenced=self.sequenced,
-            trace_id=self.trace_id,
-        )
+        """A per-recipient copy: only the header differs — the payload,
+        groupcast header, multi-stamp, and causal id are shared
+        references. Fan-out is the fabric's hottest allocation site, so
+        the copy bypasses the dataclass constructor and writes the
+        slots directly (each copy still gets a fresh ``packet_id``)."""
+        clone = object.__new__(Packet)
+        clone.src = self.src
+        clone.dst = dst
+        clone.payload = self.payload
+        clone.groupcast = self.groupcast
+        clone.multistamp = self.multistamp
+        clone.sequenced = self.sequenced
+        clone.packet_id = next(_packet_ids)
+        clone.trace_id = self.trace_id
+        return clone

@@ -84,6 +84,14 @@ class Network:
 
     def unregister(self, address: Address) -> None:
         self._endpoints.pop(address, None)
+        # Drop the departed endpoint's FIFO link state so the clock map
+        # stays bounded under endpoint churn (clients come and go; the
+        # map would otherwise grow one entry per link forever).
+        if self._link_clock:
+            stale = [link for link in self._link_clock
+                     if address in link]
+            for link in stale:
+                del self._link_clock[link]
 
     def endpoint(self, address: Address) -> "Node":
         try:
@@ -131,8 +139,10 @@ class Network:
 
     def fan_out(self, packet: Packet, destinations: tuple[Address, ...]) -> None:
         """Deliver per-recipient copies (used by sequencers)."""
+        transmit = self._transmit
+        copy_to = packet.copy_to
         for dst in destinations:
-            self._transmit(packet.copy_to(dst))
+            transmit(copy_to(dst))
 
     # -- internals ----------------------------------------------------------
     def _route_groupcast(self, packet: Packet) -> None:
@@ -154,29 +164,40 @@ class Network:
             self.tracer.packet_drop(packet, reason)
 
     def _transmit(self, packet: Packet) -> None:
-        if packet.dst not in self._endpoints:
+        # Per-packet hot path: config is read through one local (it can
+        # be mutated mid-run by fault injectors, so it is not cached on
+        # the network), and the jitter/drop RNG draws are skipped
+        # entirely when disabled so lossless zero-jitter runs make no
+        # RNG calls here.
+        dst = packet.dst
+        if dst not in self._endpoints:
             # Destination crashed / deregistered: packet is lost.
             self._drop(packet, "dead-destination")
             return
         if self.drop_filter is not None and self.drop_filter(packet):
             self._drop(packet, "drop-filter")
             return
-        if self.config.drop_rate > 0.0 and packet.dst not in self.lossless \
+        config = self.config
+        if config.drop_rate > 0.0 and dst not in self.lossless \
                 and packet.src not in self.lossless:
-            if self.rng.random() < self.config.drop_rate:
+            if self.rng.random() < config.drop_rate:
                 self._drop(packet, "random-loss")
                 return
-        latency = self.config.base_latency
-        if self.config.jitter > 0.0:
-            latency += self.rng.uniform(0.0, self.config.jitter)
-        arrival = self.loop.now + latency
-        if self.config.fifo_links:
-            link = (packet.src, packet.dst)
-            arrival = max(arrival, self._link_clock.get(link, 0.0) + 1e-9)
-            self._link_clock[link] = arrival
+        latency = config.base_latency
+        if config.jitter > 0.0:
+            latency += self.rng.uniform(0.0, config.jitter)
+        loop = self.loop
+        arrival = loop.now + latency
+        if config.fifo_links:
+            link_clock = self._link_clock
+            link = (packet.src, dst)
+            floor = link_clock.get(link, 0.0) + 1e-9
+            if arrival < floor:
+                arrival = floor
+            link_clock[link] = arrival
         if self.tracer is not None:
             self.tracer.packet_tx(packet)
-        self.loop.schedule_at(arrival, self._arrive, packet)
+        loop.schedule_at(arrival, self._arrive, packet)
 
     def _arrive(self, packet: Packet) -> None:
         node = self._endpoints.get(packet.dst)

@@ -95,15 +95,19 @@ class MultiSequencer(Node):
                 self.network.send(packet)
             return
         stamped = self.stamp(packet)
+        network = self.network
+        fan_out = network.fan_out
+        members = network.groups.members
         for group in stamped.groupcast.groups:
-            self.network.fan_out(stamped, self.network.groups.members(group))
+            fan_out(stamped, members(group))
 
     def stamp(self, packet: Packet) -> Packet:
         """Atomically assign one sequence number per destination group."""
+        counters = self.counters
         stamps = []
         for group in packet.groupcast.groups:
-            seq = self.counters.get(group, 0) + 1
-            self.counters[group] = seq
+            seq = counters.get(group, 0) + 1
+            counters[group] = seq
             stamps.append((group, seq))
         packet.multistamp = MultiStamp(epoch=self.epoch, stamps=tuple(stamps))
         self.packets_stamped += 1

@@ -29,10 +29,15 @@ class Timer:
         self._event: Optional[Event] = None
 
     def start(self, delay: Optional[float] = None) -> None:
-        self.stop()
-        self._event = self._loop.schedule(
-            self.delay if delay is None else delay, self._fire
-        )
+        d = self.delay if delay is None else delay
+        event = self._event
+        if event is None:
+            self._event = self._loop.schedule(d, self._fire)
+        else:
+            # Re-arm in place: a restart usually pushes the deadline
+            # later, which ``reschedule`` handles without growing the
+            # heap or allocating a replacement event.
+            self._event = self._loop.reschedule(event, self._loop.now + d)
 
     def stop(self) -> None:
         if self._event is not None:
@@ -82,5 +87,13 @@ class PeriodicTimer:
     def _fire(self) -> None:
         if self._stopped:
             return
-        self._event = self._loop.schedule(self.period, self._fire)
+        # The event that just fired is out of the heap; re-arming it via
+        # ``reschedule`` reuses the object instead of allocating one per
+        # period.
+        event = self._event
+        if event is not None:
+            self._event = self._loop.reschedule(event,
+                                                self._loop.now + self.period)
+        else:  # pragma: no cover - defensive; start() always arms
+            self._event = self._loop.schedule(self.period, self._fire)
         self._fn(*self._args)

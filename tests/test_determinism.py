@@ -1,0 +1,171 @@
+"""Determinism and boundedness guarantees of the optimized simulator.
+
+The event-loop performance pass (tuple-keyed heap, deferred
+``reschedule``, heap compaction, fabric fast paths) must not change
+*what* the simulator computes, only how fast: two runs with the same
+seed must fire the identical ``(time, seq)`` event stream and reach the
+identical protocol outcome — and that stream must be identical to the
+pre-optimization implementation's, which is pinned here as a digest
+captured from the naive heap (cancel-and-repush timers, Event-object
+comparisons) on the exact same configuration.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.harness import (
+    ClusterConfig,
+    ExperimentConfig,
+    build_cluster,
+    run_experiment,
+)
+from repro.net.network import NetConfig, Network
+from repro.sim.event_loop import EventLoop
+from repro.sim.process import Timer
+from repro.sim.randomness import SplitRandom
+from repro.store import ProcedureRegistry
+from repro.workloads import (
+    Partitioner,
+    YCSBConfig,
+    YCSBWorkload,
+    register_ycsb_procedures,
+)
+from repro.workloads.ycsb import load_ycsb
+
+# Pinned from the pre-optimization event loop (naive heap) running this
+# exact configuration: sha256 over one "repr(time):seq\n" line per fired
+# event. The optimized loop must reproduce it bit-for-bit.
+PRE_OPTIMIZATION_DIGEST = \
+    "ba16d1cc90106f119f9e8a6661d9c7806df7900f2055bf49b373366de7ada8d2"
+PRE_OPTIMIZATION_FIRED = 18524
+PRE_OPTIMIZATION_COMMITTED = 1133
+PRE_OPTIMIZATION_PACKETS_SENT = 6172
+PRE_OPTIMIZATION_THROUGHPUT = 377666.6666666667
+
+
+def run_small_eris():
+    """One small fig6-style Eris measurement with an event fingerprint."""
+    registry = ProcedureRegistry()
+    register_ycsb_procedures(registry)
+    partitioner = Partitioner(2)
+    cluster = build_cluster(
+        ClusterConfig(system="eris", n_shards=2, seed=42),
+        registry, partitioner,
+        loader=lambda stores, p: load_ycsb(stores, p, 500))
+    digest = hashlib.sha256()
+    fired = [0]
+
+    def fingerprint(event):
+        digest.update(f"{event.time!r}:{event.seq}\n".encode())
+        fired[0] += 1
+
+    cluster.loop.on_event = fingerprint
+    workload = YCSBWorkload(YCSBConfig(workload="srw", n_keys=500),
+                            partitioner, SplitRandom(43))
+    result = run_experiment(cluster, workload, ExperimentConfig(
+        n_clients=20, warmup=1e-3, duration=3e-3, drain=1e-3))
+    return {
+        "digest": digest.hexdigest(),
+        "fired": fired[0],
+        "committed": result.committed,
+        "throughput": result.throughput,
+        "packets_sent": cluster.network.packets_sent,
+        "packets_delivered": cluster.network.packets_delivered,
+        "seq": cluster.loop._seq,
+    }
+
+
+def test_same_seed_runs_are_bit_identical():
+    first = run_small_eris()
+    second = run_small_eris()
+    assert first == second
+
+
+def test_optimized_loop_matches_pre_optimization_pinned_sequence():
+    """The whole point of the pinned digest: the perf pass changed the
+    data structures, not the event order or the protocol outcome."""
+    run = run_small_eris()
+    assert run["digest"] == PRE_OPTIMIZATION_DIGEST
+    assert run["fired"] == PRE_OPTIMIZATION_FIRED
+    assert run["committed"] == PRE_OPTIMIZATION_COMMITTED
+    assert run["packets_sent"] == PRE_OPTIMIZATION_PACKETS_SENT
+    assert run["throughput"] == pytest.approx(PRE_OPTIMIZATION_THROUGHPUT)
+
+
+# -- boundedness under churn ----------------------------------------------
+
+def test_event_heap_stays_bounded_under_timer_restart_churn():
+    """Restartable timers re-armed millions of times must not grow the
+    heap: the deferred reschedule keeps one entry per live timer (the
+    naive implementation left one cancelled entry per restart)."""
+    loop = EventLoop()
+    timers = [Timer(loop, 1.0, lambda: None) for _ in range(50)]
+    for round_no in range(2000):
+        for timer in timers:
+            timer.start()
+    # One in-heap entry per live timer; nothing accumulated.
+    assert len(loop._heap) == len(timers)
+    assert loop.pending == len(timers)
+
+
+def test_event_heap_compaction_bounds_cancel_churn():
+    """Timers cancelled outright (stop without restart) accumulate
+    lazily-deleted entries only until compaction kicks in."""
+    loop = EventLoop()
+    for _ in range(50_000):
+        timer = Timer(loop, 1.0, lambda: None)
+        timer.start()
+        timer.stop()
+    live = 100
+    keep = [Timer(loop, 1.0, lambda: None) for _ in range(live)]
+    for timer in keep:
+        timer.start()
+    assert loop.compactions > 0
+    # Cancelled garbage never dominates a large heap: bounded by the
+    # compaction threshold, not by the 50k cancels.
+    assert len(loop._heap) <= max(2 * (live + 1), EventLoop.COMPACT_MIN + 1)
+    assert loop.pending == live
+
+
+def test_link_clock_stays_bounded_under_endpoint_churn():
+    """Short-lived endpoints (clients come and go) must not leak FIFO
+    link-clock entries."""
+    from repro.net.endpoint import Node
+
+    class Sink(Node):
+        def handle(self, src, message, packet):
+            pass
+
+    loop = EventLoop()
+    net = Network(loop, NetConfig(jitter=0.0))
+    server = Sink("server", net)
+    for generation in range(200):
+        client = Sink(f"client-{generation}", net)
+        client.send("server", {"ping": generation})
+        server.send(client.address, {"pong": generation})
+        loop.run_until_idle()
+        net.unregister(client.address)
+    # Only links touching still-registered endpoints remain.
+    assert len(net._link_clock) <= 2
+    assert len(loop._heap) == 0
+
+
+def test_unregister_prunes_both_link_directions():
+    from repro.net.endpoint import Node
+
+    class Sink(Node):
+        def handle(self, src, message, packet):
+            pass
+
+    loop = EventLoop()
+    net = Network(loop, NetConfig(jitter=0.0))
+    Sink("a", net)
+    Sink("b", net)
+    net.endpoint("a").send("b", 1)
+    net.endpoint("b").send("a", 2)
+    loop.run_until_idle()
+    assert ("a", "b") in net._link_clock and ("b", "a") in net._link_clock
+    net.unregister("b")
+    assert not any("b" in link for link in net._link_clock)
+    assert all("b" not in link for link in net._link_clock)

@@ -150,3 +150,91 @@ def test_committed_and_aborted_counters():
                            reply(txn_id2, 0, idx, committed=False), None)
     assert client.committed_count == 1
     assert client.aborted_count == 1
+
+
+def test_retry_exhaustion_counts_toward_completion_invariant():
+    """Regression: a give-up after max_retries used to complete the
+    submission without touching any counter, so committed + aborted no
+    longer matched the number of finished submissions."""
+    loop, client = build_client()
+    client.max_retries = 3
+    completions = []
+    # One transaction that times out (no replicas exist to reply)...
+    client.submit("p", {}, (0,), completions.append)
+    # ...and one that commits, one that aborts, via hand-fed replies.
+    txn_commit, _ = submit(client)
+    for idx in range(3):
+        client.on_TxnReply(f"r{idx}", reply(txn_commit, 0, idx), None)
+    txn_abort, _ = submit(client)
+    for idx in range(3):
+        client.on_TxnReply(f"r{idx}",
+                           reply(txn_abort, 0, idx, committed=False), None)
+    loop.run(until=0.1)
+    assert completions and not completions[0].committed
+    assert client.timedout_count == 1
+    assert client.committed_count == 1
+    assert client.aborted_count == 1
+    # The invariant the harness failure-rate stats rely on:
+    completed = 1 + 2                  # timed out + the two hand-fed
+    assert (client.committed_count + client.aborted_count
+            + client.timedout_count) == completed
+    assert client.inflight == 0
+
+
+# -- reconnaissance reads (§7.1) -------------------------------------------
+
+def test_recon_replies_keyed_by_replica_not_just_key():
+    """Concurrent recon reads of the same key from different replicas
+    must resolve independently: the reply from r0 must not release the
+    waiter that asked r1 (whose copy may be stale)."""
+    from repro.core.messages import ReconReply
+
+    loop, client = build_client()
+    got = []
+    client.recon("r0", "k", lambda key, value: got.append(("r0", value)))
+    client.recon("r1", "k", lambda key, value: got.append(("r1", value)))
+    client.on_ReconReply("r0", ReconReply(key="k", value="fresh"), None)
+    assert got == [("r0", "fresh")]          # r1's waiter still pending
+    client.on_ReconReply("r1", ReconReply(key="k", value="stale"), None)
+    assert got == [("r0", "fresh"), ("r1", "stale")]
+
+
+def test_recon_waiters_for_same_replica_and_key_coalesce():
+    from repro.core.messages import ReconReply
+
+    loop, client = build_client()
+    got = []
+    client.recon("r0", "k", lambda key, value: got.append(1))
+    client.recon("r0", "k", lambda key, value: got.append(2))
+    assert client.network.packets_sent == 1  # one outstanding read
+    client.on_ReconReply("r0", ReconReply(key="k", value="v"), None)
+    assert got == [1, 2]
+
+
+def test_recon_retransmits_after_dropped_reply():
+    """A dropped ReconReply must not strand the waiter forever: the
+    read retransmits on the retry timeout and the late reply lands."""
+    loop, client = build_client()
+    got = []
+    client.recon("r0", 7, lambda key, value: got.append((key, value)))
+    sent_before = client.network.packets_sent
+    loop.run(until=3 * client.retry_timeout)
+    assert client.network.packets_sent > sent_before  # retransmissions
+    assert got == []                                  # still waiting
+    from repro.core.messages import ReconReply
+    client.on_ReconReply("r0", ReconReply(key=7, value="late"), None)
+    assert got == [(7, "late")]
+    # Timer is stopped: no further retransmissions accumulate.
+    sent_after = client.network.packets_sent
+    loop.run(until=loop.now + 10 * client.retry_timeout)
+    assert client.network.packets_sent == sent_after
+
+
+def test_recon_gives_up_with_none_after_max_retries():
+    loop, client = build_client()
+    client.max_retries = 3
+    got = []
+    client.recon("dead-replica", "k", lambda key, value: got.append(value))
+    loop.run(until=1.0)
+    assert got == [None]
+    assert client.recon_retry_count == 4

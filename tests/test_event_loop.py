@@ -139,3 +139,142 @@ def test_events_processed_counter():
         loop.schedule(1e-3, lambda: None)
     loop.run_until_idle()
     assert loop.events_processed == 7
+
+
+def test_livelock_detected_despite_stale_cancelled_entries():
+    """Regression: one stale cancelled entry in the heap used to
+    suppress the livelock error entirely (``all(not e.cancelled)``);
+    a mixed live/cancelled heap must still raise."""
+    loop = EventLoop()
+
+    def forever():
+        loop.schedule(1e-6, forever)
+
+    # Plant cancelled garbage alongside the livelocked chain.
+    for _ in range(5):
+        loop.cancel(loop.schedule(10.0, lambda: None))
+    loop.schedule(0.0, forever)
+    with pytest.raises(SimulationError):
+        loop.run_until_idle(max_events=1000)
+
+
+def test_only_cancelled_leftovers_do_not_raise():
+    loop = EventLoop()
+    for _ in range(5):
+        loop.cancel(loop.schedule(10.0, lambda: None))
+    loop.schedule(1e-3, lambda: None)
+    loop.run_until_idle(max_events=1)      # budget exactly consumed
+
+
+def test_reschedule_moves_deadline_later():
+    loop = EventLoop()
+    fired = []
+    event = loop.schedule(2e-3, lambda: fired.append(loop.now))
+    moved = loop.reschedule(event, 5e-3)
+    loop.run_until_idle()
+    assert fired == [pytest.approx(5e-3)]
+    assert len(fired) == 1
+    assert moved.time == pytest.approx(5e-3)
+
+
+def test_reschedule_moves_deadline_earlier():
+    loop = EventLoop()
+    fired = []
+    event = loop.schedule(5e-3, lambda: fired.append(loop.now))
+    loop.reschedule(event, 1e-3)
+    loop.run_until_idle()
+    assert fired == [pytest.approx(1e-3)]
+
+
+def test_reschedule_matches_cancel_plus_schedule_tie_break():
+    """A rescheduled event must fire in exactly the position a
+    cancel-plus-schedule replacement would have occupied among
+    same-time ties (it consumes the same sequence number)."""
+    loop_a, loop_b = EventLoop(), EventLoop()
+    order_a, order_b = [], []
+
+    # Loop A: naive cancel + schedule.
+    ev = loop_a.schedule(1e-3, order_a.append, "timer")
+    loop_a.schedule(2e-3, order_a.append, "x")
+    loop_a.cancel(ev)
+    loop_a.schedule(2e-3, order_a.append, "timer")
+    loop_a.schedule(2e-3, order_a.append, "y")
+    loop_a.run_until_idle()
+
+    # Loop B: same operations via reschedule.
+    ev = loop_b.schedule(1e-3, order_b.append, "timer")
+    loop_b.schedule(2e-3, order_b.append, "x")
+    loop_b.reschedule(ev, 2e-3)
+    loop_b.schedule(2e-3, order_b.append, "y")
+    loop_b.run_until_idle()
+
+    assert order_a == order_b == ["x", "timer", "y"]
+
+
+def test_reschedule_after_fire_rearms_same_object():
+    loop = EventLoop()
+    fired = []
+    event = loop.schedule(1e-3, lambda: fired.append(loop.now))
+    loop.run_until_idle()
+    rearmed = loop.reschedule(event, 4e-3)
+    assert rearmed is event                 # reused, not reallocated
+    loop.run_until_idle()
+    assert fired == [pytest.approx(1e-3), pytest.approx(4e-3)]
+
+
+def test_reschedule_into_past_rejected():
+    loop = EventLoop()
+    event = loop.schedule(5e-3, lambda: None)
+    loop.schedule(1e-3, lambda: None)
+    loop.run(max_events=1)
+    with pytest.raises(SimulationError):
+        loop.reschedule(event, 0.5e-3)
+
+
+def test_rescheduled_then_cancelled_event_never_fires():
+    loop = EventLoop()
+    fired = []
+    event = loop.schedule(1e-3, fired.append, "x")
+    loop.reschedule(event, 3e-3)
+    loop.cancel(event)
+    loop.run_until_idle()
+    assert fired == []
+
+
+def test_pending_is_exact_through_cancel_and_reschedule():
+    loop = EventLoop()
+    events = [loop.schedule(1e-3 * (i + 1), lambda: None) for i in range(4)]
+    assert loop.pending == 4
+    loop.cancel(events[0])
+    assert loop.pending == 3
+    loop.reschedule(events[1], 9e-3)        # deferred: still one entry
+    assert loop.pending == 3
+    loop.run_until_idle()
+    assert loop.pending == 0
+
+
+def test_heap_compaction_preserves_event_order():
+    loop = EventLoop()
+    order = []
+    keep = []
+    for i in range(3000):
+        event = loop.schedule(1e-6 * i, order.append, i)
+        if i % 3 == 0:
+            keep.append(i)
+        else:
+            loop.cancel(event)              # drives compaction
+    assert loop.compactions > 0
+    assert len(loop._heap) < 3000
+    loop.run_until_idle()
+    assert order == keep
+
+
+def test_on_event_hook_sees_fired_time_and_seq():
+    loop = EventLoop()
+    seen = []
+    loop.on_event = lambda e: seen.append((e.time, e.seq))
+    loop.schedule(2e-3, lambda: None)
+    event = loop.schedule(1e-3, lambda: None)
+    loop.reschedule(event, 3e-3)
+    loop.run_until_idle()
+    assert seen == [(pytest.approx(2e-3), 0), (pytest.approx(3e-3), 2)]
