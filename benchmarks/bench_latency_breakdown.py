@@ -1,0 +1,151 @@
+#!/usr/bin/env python
+"""Pinned per-phase commit-latency breakdown of a reference Eris run.
+
+Runs one traced YCSB+T measurement, reconstructs the transaction span
+forest (:mod:`repro.obs.spans`), and writes the per-phase attribution
+to ``BENCH_latency_breakdown.json`` at the repo root, next to the other
+``BENCH_*`` baselines. All quantities are *simulated* time, so the file
+is deterministic and machine-independent: ``--check`` re-measures and
+fails (exit 1) on any drift in transaction counts, per-phase means, or
+the phase-sum/end-to-end consistency — a change means the protocol's
+latency profile changed, not the hardware.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_latency_breakdown.py          # re-pin
+    PYTHONPATH=src python benchmarks/bench_latency_breakdown.py --check  # gate
+    PYTHONPATH=src python benchmarks/bench_latency_breakdown.py --quick  # CI-sized
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if True:  # keep import block after sys.path fix-up
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from bench_common import YCSBBench, run_ycsb                   # noqa: E402
+from repro.obs import analyze_trace                            # noqa: E402
+
+BREAKDOWN_PATH = os.path.join(REPO_ROOT, "BENCH_latency_breakdown.json")
+
+#: Deterministic quantities are checked to float precision only.
+FLOAT_TOLERANCE = 1e-9
+
+#: The reference measurement point: Eris under moderate load with 20%
+#: multi-shard transactions, so quorum_wait covers real cross-shard
+#: fan-out, not just replica jitter.
+POINT = dict(system="eris", workload="mrmw", distributed_fraction=0.2,
+             n_clients=120, n_shards=3)
+
+
+def measure(quick: bool) -> dict:
+    point = YCSBBench(config_overrides={"tracing": True}, **POINT)
+    if quick:
+        point.n_clients = 40
+        point.duration = 4e-3
+    cluster, result = run_ycsb(point)
+    report = analyze_trace(cluster.tracer.events)
+    return {
+        "schema": 1,
+        "note": "simulated time; deterministic and machine-independent",
+        "config": dict(POINT, quick=quick,
+                       n_clients=point.n_clients,
+                       duration=point.duration, seed=point.seed),
+        "throughput_txn_s": result.throughput,
+        "breakdown": report,
+    }
+
+
+def check(current: dict) -> list[str]:
+    """Exact comparison against the committed baseline (all simulated
+    time; any difference beyond float noise is a behaviour change)."""
+    try:
+        with open(BREAKDOWN_PATH) as f:
+            base = json.load(f)
+    except FileNotFoundError as exc:
+        return [f"missing committed baseline: {exc}"]
+    if base["config"] != current["config"]:
+        return [f"config changed: {base['config']} != {current['config']} "
+                "(re-pin instead of --check)"]
+    failures: list[str] = []
+    base_bd, cur_bd = base["breakdown"], current["breakdown"]
+    for key, base_value in base_bd["txns"].items():
+        cur_value = cur_bd["txns"][key]
+        status = "ok" if cur_value == base_value else "DRIFT"
+        print(f"  txns.{key:12s} {cur_value:>10} vs {base_value:>10}  "
+              f"[{status}]")
+        if cur_value != base_value:
+            failures.append(f"txns.{key}: {cur_value} != {base_value}")
+    for name in base_bd["phase_order"]:
+        base_mean = base_bd["phases"][name].get("mean_us", 0.0)
+        cur_mean = cur_bd["phases"][name].get("mean_us", 0.0)
+        drift = abs(cur_mean - base_mean)
+        ok = drift <= max(abs(base_mean), 1.0) * FLOAT_TOLERANCE
+        print(f"  {name:16s} {cur_mean:>10.3f}us vs {base_mean:>10.3f}us  "
+              f"[{'ok' if ok else 'DRIFT'}]")
+        if not ok:
+            failures.append(
+                f"phase {name}: mean {cur_mean}us != {base_mean}us "
+                "(deterministic — latency profile changed)")
+    residual = abs(cur_bd["consistency"]["residual_us"])
+    mean_e2e = cur_bd["consistency"]["mean_e2e_us"]
+    if residual > max(mean_e2e, 1.0) * 1e-9:
+        failures.append(
+            f"phase sums no longer telescope: residual {residual}us "
+            f"against mean end-to-end {mean_e2e}us")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Per-phase commit-latency breakdown baseline")
+    parser.add_argument("--check", action="store_true",
+                        help="compare against the committed "
+                             "BENCH_latency_breakdown.json instead of "
+                             "overwriting it")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized run (smaller, separately pinned "
+                             "config — do not commit over a full pin)")
+    parser.add_argument("--out", default=BREAKDOWN_PATH,
+                        help="output path (default: repo root)")
+    args = parser.parse_args(argv)
+
+    print("running traced reference measurement"
+          + (" (quick)" if args.quick else "") + " ...")
+    current = measure(args.quick)
+    breakdown = current["breakdown"]
+    print(f"  {breakdown['txns']['attributed']} transactions attributed; "
+          f"mean end-to-end "
+          f"{breakdown['end_to_end']['mean_us']:.1f}us")
+    for name in breakdown["phase_order"]:
+        stats = breakdown["phases"][name]
+        mean = stats.get("mean_us", 0.0)
+        print(f"  {name:16s} {mean:>8.2f}us  "
+              f"({stats['share'] * 100:5.1f}%)")
+
+    if args.check:
+        print("checking against committed baseline ...")
+        failures = check(current)
+        if failures:
+            print("LATENCY BREAKDOWN CHECK FAILED:")
+            for failure in failures:
+                print("  -", failure)
+            return 1
+        print("latency breakdown check ok")
+        return 0
+
+    with open(args.out, "w") as f:
+        json.dump(current, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

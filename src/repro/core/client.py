@@ -132,8 +132,17 @@ class ErisClient(Node):
         self._transmit(txn)
         return txn.txn_id
 
-    def _transmit(self, txn: IndependentTransaction) -> None:
-        self.send_groupcast(txn.participants, IndependentTxnRequest(txn))
+    def _transmit(self, txn: IndependentTransaction, retry: int = 0) -> None:
+        packet = self.send_groupcast(txn.participants,
+                                     IndependentTxnRequest(txn))
+        tracer = self.network.tracer
+        if tracer is not None and packet is not None:
+            # One txn_submit per transmission attempt; the causal id
+            # ties the attempt to its request packet's fan-out tree.
+            tracer.record("txn_submit", self.address,
+                          cause=packet.trace_id, txn=txn.txn_id.label(),
+                          retry=retry,
+                          participants=list(txn.participants))
 
     def _retry(self, txn_id: TxnId) -> None:
         pending = self._pending.get(txn_id)
@@ -151,9 +160,14 @@ class ErisClient(Node):
             outcome = TxnOutcome(txn_id=txn_id, committed=False, results={},
                                  latency=self.loop.now - pending.start_time,
                                  retries=pending.retries)
+            if self.network.tracer is not None:
+                self.network.tracer.record(
+                    "txn_complete", self.address, txn=txn_id.label(),
+                    committed=False, timedout=True,
+                    retries=pending.retries)
             pending.callback(outcome)
             return
-        self._transmit(pending.txn)
+        self._transmit(pending.txn, retry=pending.retries)
         pending.timer.start()
 
     # -- replies ----------------------------------------------------------
@@ -195,6 +209,11 @@ class ErisClient(Node):
             latency=self.loop.now - pending.start_time,
             retries=pending.retries,
         )
+        if self.network.tracer is not None:
+            self.network.tracer.record(
+                "txn_complete", self.address,
+                txn=pending.txn.txn_id.label(), committed=committed,
+                timedout=False, retries=pending.retries)
         pending.callback(outcome)
 
     # -- reconnaissance reads (§7.1) ------------------------------------------

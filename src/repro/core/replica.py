@@ -87,8 +87,7 @@ def _entry_txn(entry: LogEntry) -> Optional[str]:
     """Stable transaction label for trace events ("client:seq")."""
     if entry.kind != "txn":
         return None
-    txn_id = entry.record.txn.txn_id
-    return f"{txn_id.client}:{txn_id.seq}"
+    return entry.record.txn.txn_id.label()
 
 
 @dataclass
@@ -342,7 +341,7 @@ class ErisReplica(Node):
 
     def _reply(self, txn: IndependentTransaction, index: int,
                committed: bool, result: Any) -> None:
-        self.send(txn.txn_id.client, TxnReply(
+        packet = self.send(txn.txn_id.client, TxnReply(
             txn_id=txn.txn_id,
             txn_index=index,
             view_num=self.view_num,
@@ -353,6 +352,14 @@ class ErisReplica(Node):
             committed=committed,
             result=result,
         ))
+        tracer = self.network.tracer
+        if tracer is not None and packet is not None:
+            # The reply's causal id lets the span builder pair each
+            # per-replica reply with its delivery at the client.
+            tracer.record("reply", self.address, cause=packet.trace_id,
+                          txn=txn.txn_id.label(), shard=self.shard,
+                          replica=self.replica_index, is_dl=self.is_dl,
+                          committed=committed)
 
     # -- reconnaissance queries (§7.1) ----------------------------------------
     def on_ReconRead(self, src: Address, msg: ReconRead,

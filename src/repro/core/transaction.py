@@ -22,6 +22,11 @@ class TxnId:
     client: str
     seq: int
 
+    def label(self) -> str:
+        """Stable flat-JSON transaction label used by trace events and
+        the span builder ("client:seq")."""
+        return f"{self.client}:{self.seq}"
+
 
 @dataclass(frozen=True, order=True)
 class SlotId:

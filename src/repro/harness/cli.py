@@ -12,10 +12,13 @@ scripted without writing Python::
 With ``--trace PATH`` the run records a causal trace (``repro.obs``)
 and exports it as JSONL; ``--metrics`` prints the per-component metric
 table after the run. The ``trace`` subcommand summarizes a previously
-exported trace::
+exported trace, and ``trace analyze`` reconstructs per-transaction
+span trees and attributes commit latency to protocol phases::
 
     python -m repro.harness.cli --system eris --trace run.jsonl --metrics
     python -m repro.harness.cli trace run.jsonl
+    python -m repro.harness.cli trace analyze run.jsonl \
+        --json breakdown.json --chrome run.trace.json
 """
 
 from __future__ import annotations
@@ -94,6 +97,23 @@ def build_trace_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_analyze_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.harness.cli trace analyze",
+        description="Reconstruct transaction span trees from a JSONL "
+                    "trace and attribute commit latency to protocol "
+                    "phases along the critical path.")
+    parser.add_argument("path", help="trace file (JSONL)")
+    parser.add_argument("--json", metavar="PATH",
+                        help="export the full breakdown as JSON")
+    parser.add_argument("--chrome", metavar="PATH",
+                        help="export a Chrome trace-event / Perfetto "
+                             "JSON timeline of every span tree")
+    parser.add_argument("--top", type=int, default=0, metavar="N",
+                        help="also list the N slowest transactions")
+    return parser
+
+
 def run(args: argparse.Namespace):
     config = ClusterConfig(system=args.system, n_shards=args.shards,
                            n_replicas=args.replicas, seed=args.seed,
@@ -129,17 +149,122 @@ def run(args: argparse.Namespace):
     return cluster, result
 
 
+def analyze_main(argv: Sequence[str]) -> int:
+    """``trace analyze``: span reconstruction + per-phase latency
+    attribution along the commit critical path."""
+    import json
+
+    from repro.obs import (
+        analyze_spans,
+        build_spans,
+        export_chrome_trace,
+        load_trace,
+    )
+
+    args = build_analyze_parser().parse_args(argv)
+    try:
+        events = load_trace(args.path)
+    except OSError as exc:
+        print(f"error: cannot read trace: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    forest = build_spans(events)
+    report = analyze_spans(forest)
+
+    txns = report["txns"]
+    print(format_table(
+        ["stat", "value"],
+        [["transactions", txns["total"]],
+         ["completed", txns["completed"]],
+         ["committed", txns["committed"]],
+         ["timed out", txns["timedout"]],
+         ["attributed", txns["attributed"]],
+         ["recoveries", report["recovery"]["count"]],
+         ["fc escalations", report["recovery"]["fc_escalated"]]],
+        title=args.path))
+
+    def fmt(stats: dict, key: str) -> str:
+        value = stats.get(key)
+        return "-" if value is None else f"{value:.1f}"
+
+    if txns["attributed"]:
+        rows = []
+        for name in report["phase_order"]:
+            stats = report["phases"][name]
+            rows.append([name, fmt(stats, "mean_us"), fmt(stats, "p50_us"),
+                         fmt(stats, "p99_us"),
+                         f"{stats['share'] * 100:.1f}%"])
+        e2e = report["end_to_end"]
+        rows.append(["end_to_end", fmt(e2e, "mean_us"), fmt(e2e, "p50_us"),
+                     fmt(e2e, "p99_us"), "100.0%"])
+        print(format_table(
+            ["phase", "mean_us", "p50_us", "p99_us", "share"], rows,
+            title="\ncommit latency attribution (fastest reply chain)"))
+        consistency = report["consistency"]
+        print(f"\nphase sums vs end-to-end: "
+              f"{consistency['mean_phase_sum_us']:.3f}us vs "
+              f"{consistency['mean_e2e_us']:.3f}us "
+              f"(residual {consistency['residual_us']:+.3g}us)")
+        members = report["critical_path"]["by_member"]
+        if members:
+            print(format_table(
+                ["critical-path member", "txns"],
+                [[node, count] for node, count in members.items()],
+                title="\nslowest counted quorum member"))
+        queue = report["sequencer_queue"]
+        if queue["count"]:
+            print(f"\nsequencer queue delay: mean {fmt(queue, 'mean_us')}us"
+                  f"  p99 {fmt(queue, 'p99_us')}us"
+                  f"  max {fmt(queue, 'max_us')}us"
+                  f"  (n={queue['count']})")
+    else:
+        print("\nno attributable transactions "
+              "(trace has no completed quorum-reaching txns)")
+
+    if args.top:
+        slowest = sorted(forest.attributed(),
+                         key=lambda t: t.end_to_end, reverse=True)
+        rows = [[t.txn, f"{t.end_to_end * 1e6:.1f}",
+                 max(t.phases, key=t.phases.get), t.retries,
+                 t.critical["node"] if t.critical else "-"]
+                for t in slowest[:args.top]]
+        if rows:
+            print(format_table(
+                ["txn", "e2e_us", "dominant phase", "retries",
+                 "critical member"],
+                rows, title=f"\n{len(rows)} slowest transactions"))
+
+    if args.json:
+        payload = dict(report, trace=args.path)
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"\nbreakdown -> {args.json}")
+    if args.chrome:
+        count = export_chrome_trace(forest, args.chrome)
+        print(f"chrome trace ({count} events) -> {args.chrome}  "
+              "(open in Perfetto: https://ui.perfetto.dev)")
+    return 0
+
+
 def trace_main(argv: Sequence[str]) -> int:
     """The ``trace`` subcommand: summarize (and optionally check) a
     previously exported JSONL trace."""
     from repro.harness.checkers import run_trace_checks
     from repro.obs import load_trace, summarize_trace
 
+    argv = list(argv)
+    if argv and argv[0] == "analyze":
+        return analyze_main(argv[1:])
     args = build_trace_parser().parse_args(argv)
     try:
         events = load_trace(args.path)
     except OSError as exc:
         print(f"error: cannot read trace: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
         return 2
     summary = summarize_trace(events)
     rows = [["events", summary["events"]],

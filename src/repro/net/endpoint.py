@@ -48,30 +48,35 @@ class Node:
         network.register(self)
 
     # -- sending -----------------------------------------------------------
-    def send(self, dst: Address, message: Any) -> None:
-        """Unicast a protocol message."""
+    def send(self, dst: Address, message: Any) -> Optional[Packet]:
+        """Unicast a protocol message. Returns the injected packet
+        (``None`` when crashed) so trace hooks can read the causal id
+        the tracer assigned at injection."""
         if self.crashed:
-            return
-        self.network.send(Packet(src=self.address, dst=dst, payload=message))
+            return None
+        packet = Packet(src=self.address, dst=dst, payload=message)
+        self.network.send(packet)
+        return packet
 
     def send_groupcast(self, groups: tuple[int, ...], message: Any,
-                       sequenced: bool = True) -> None:
+                       sequenced: bool = True) -> Optional[Packet]:
         """Groupcast a message to a set of groups (§5.2).
 
         With ``sequenced=True`` the packet is routed through the
-        installed sequencer and arrives multi-stamped.
+        installed sequencer and arrives multi-stamped. Returns the
+        injected packet (``None`` when crashed).
         """
         if self.crashed:
-            return
-        self.network.send(
-            Packet(
-                src=self.address,
-                dst=None,
-                payload=message,
-                groupcast=GroupcastHeader(tuple(groups)),
-                sequenced=sequenced,
-            )
+            return None
+        packet = Packet(
+            src=self.address,
+            dst=None,
+            payload=message,
+            groupcast=GroupcastHeader(tuple(groups)),
+            sequenced=sequenced,
         )
+        self.network.send(packet)
+        return packet
 
     # -- timers --------------------------------------------------------------
     def timer(self, delay: float, fn, *args) -> Timer:

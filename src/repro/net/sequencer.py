@@ -69,6 +69,9 @@ class MultiSequencer(Node):
         self.epoch = epoch
         self.counters: dict[int, int] = {}
         self.packets_stamped = 0
+        # Fabric-arrival timestamps for queue-delay attribution, keyed
+        # by packet id. Populated only while a tracer is attached.
+        self._ingress: dict[int, float] = {}
 
     def install_epoch(self, epoch: int) -> None:
         """SDN controller installs a strictly higher epoch; counters
@@ -112,8 +115,21 @@ class MultiSequencer(Node):
         packet.multistamp = MultiStamp(epoch=self.epoch, stamps=tuple(stamps))
         self.packets_stamped += 1
         if self.network.tracer is not None:
-            self.network.tracer.sequencer_stamp(self.address, packet)
+            self.network.tracer.sequencer_stamp(
+                self.address, packet,
+                queue_delay=self._queue_delay(packet))
         return packet
+
+    def _queue_delay(self, packet: Packet) -> float | None:
+        """Time the packet waited behind other packets: processing
+        finished now, so the wait is now minus fabric arrival minus the
+        profile's unavoidable traversal latency and service time."""
+        ingress = self._ingress.pop(packet.packet_id, None)
+        if ingress is None:
+            return None  # tracer attached after this packet arrived
+        wait = (self.loop.now - ingress - self.profile.added_latency
+                - self.profile.per_packet_service)
+        return max(0.0, wait)
 
     def instrument(self, registry) -> None:
         """Register this sequencer's live counters as pull-gauges."""
@@ -130,5 +146,7 @@ class MultiSequencer(Node):
         # Charge the profile's traversal latency on top of queueing.
         if self.crashed:
             return
+        if self.network.tracer is not None and packet.groupcast is not None:
+            self._ingress[packet.packet_id] = self.loop.now
         self.loop.schedule(self.profile.added_latency,
                            super().deliver, packet)

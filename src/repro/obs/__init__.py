@@ -1,13 +1,16 @@
-"""Observability: causal message tracing and per-component metrics.
+"""Observability: causal tracing, transaction spans, and metrics.
 
 - :mod:`repro.obs.trace` — :class:`Tracer` assigns causal ids to
   packets at send time and records structured protocol events
   (send/deliver/drop/reorder/stamp/apply/view-change/epoch-change/...)
   exportable as JSONL.
+- :mod:`repro.obs.spans` — reconstructs per-transaction span trees
+  from a trace, attributes commit latency to protocol phases along the
+  critical path, and exports Chrome trace-event / Perfetto JSON.
 - :mod:`repro.obs.metrics` — :class:`MetricsRegistry` of counters,
   gauges, and log-bucketed histograms keyed by (component, name).
 
-Both are strictly opt-in: with no tracer attached the simulator's hot
+All strictly opt-in: with no tracer attached the simulator's hot
 paths pay one ``is not None`` check per packet.
 """
 
@@ -17,6 +20,16 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     nearest_rank_index,
+)
+from repro.obs.spans import (
+    PHASES,
+    Span,
+    SpanForest,
+    TxnSpan,
+    analyze_spans,
+    analyze_trace,
+    build_spans,
+    export_chrome_trace,
 )
 from repro.obs.trace import (
     TraceEvent,
@@ -31,6 +44,14 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "nearest_rank_index",
+    "PHASES",
+    "Span",
+    "SpanForest",
+    "TxnSpan",
+    "analyze_spans",
+    "analyze_trace",
+    "build_spans",
+    "export_chrome_trace",
     "TraceEvent",
     "Tracer",
     "load_trace",

@@ -122,6 +122,32 @@ class Histogram:
             return math.nan
         return self.total / self.count
 
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold ``other``'s samples into this histogram in place.
+
+        Merging is exact (bucket counts add) but only defined between
+        histograms with identical bucket geometry: a sample landing in
+        bucket *i* of one must land in bucket *i* of the other, which
+        requires equal ``scale`` and ``growth``. Returns ``self`` so
+        per-shard histograms can be folded in a reduce chain.
+        """
+        if not isinstance(other, Histogram):
+            raise TypeError(f"cannot merge {type(other).__name__} "
+                            "into Histogram")
+        if other.scale != self.scale or other.growth != self.growth:
+            raise ValueError(
+                "incompatible histogram geometry: "
+                f"scale {self.scale} / growth {self.growth} vs "
+                f"scale {other.scale} / growth {other.growth}")
+        for index, n in other.buckets.items():
+            self.buckets[index] = self.buckets.get(index, 0) + n
+        self.count += other.count
+        self.total += other.total
+        if other.count:
+            self.min = min(self.min, other.min)
+            self.max = max(self.max, other.max)
+        return self
+
     def bucket_upper(self, index: int) -> float:
         """Inclusive upper bound of bucket ``index``."""
         if index == 0:
@@ -174,11 +200,15 @@ class MetricsRegistry:
         if existing is None:
             existing = Gauge(fn)
             self._instruments[key] = existing
-        elif fn is not None:
-            existing._fn = fn  # re-wiring after a rebuild is allowed
+            return existing
+        # Type-check before touching the instrument: assigning ``_fn``
+        # onto a non-Gauge (slots) raised AttributeError instead of the
+        # intended TypeError.
         if not isinstance(existing, Gauge):
             raise TypeError(f"{key} already registered as "
                             f"{type(existing).__name__}")
+        if fn is not None:
+            existing._fn = fn  # re-wiring after a rebuild is allowed
         return existing
 
     def histogram(self, component: str, name: str,

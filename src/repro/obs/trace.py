@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import itertools
 import json
+import os
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Optional
 
@@ -124,11 +125,17 @@ class Tracer:
                     src=packet.src, msg=_payload_name(packet),
                     reason=reason)
 
-    def sequencer_stamp(self, node: str, packet) -> None:
+    def sequencer_stamp(self, node: str, packet,
+                        queue_delay: Optional[float] = None) -> None:
         stamp = packet.multistamp
         cause = packet.trace_id if packet.trace_id is not None else -1
-        self.record("stamp", node, cause=cause, epoch=stamp.epoch,
-                    stamps=[[gid, seq] for gid, seq in stamp.stamps])
+        data: dict[str, Any] = {
+            "epoch": stamp.epoch,
+            "stamps": [[gid, seq] for gid, seq in stamp.stamps],
+        }
+        if queue_delay is not None:
+            data["queue_delay"] = queue_delay
+        self.record("stamp", node, cause=cause, **data)
 
     # -- export / query -----------------------------------------------------
     def __len__(self) -> int:
@@ -143,21 +150,47 @@ class Tracer:
                 if e.kind == kind and (node is None or e.node == node)]
 
     def export(self, path: str) -> int:
-        """Write the trace as JSONL; returns the event count."""
-        with open(path, "w") as handle:
-            for event in self.events:
-                handle.write(json.dumps(event.to_dict()) + "\n")
+        """Write the trace as JSONL; returns the event count.
+
+        The write goes through a sibling temp file renamed into place,
+        so a run that crashes (or a disk that fills) mid-export never
+        leaves a truncated, half-parseable JSONL behind — ``path``
+        either holds the previous complete trace or the new one.
+        """
+        tmp = f"{path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp, "w") as handle:
+                for event in self.events:
+                    handle.write(json.dumps(event.to_dict()) + "\n")
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
         return len(self.events)
 
 
 def load_trace(path: str) -> list[dict[str, Any]]:
-    """Read a JSONL trace back as a list of flat event dicts."""
+    """Read a JSONL trace back as a list of flat event dicts.
+
+    A malformed line raises :class:`ValueError` naming the file and
+    1-based line number, so a corrupt export is diagnosable without
+    bisecting the file by hand.
+    """
     events = []
     with open(path) as handle:
-        for line in handle:
+        for lineno, line in enumerate(handle, start=1):
             line = line.strip()
-            if line:
+            if not line:
+                continue
+            try:
                 events.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: malformed trace line: {exc}"
+                ) from exc
     return events
 
 

@@ -1,6 +1,7 @@
 """Tests for the command-line experiment runner and CSV export."""
 
 import csv
+import json
 
 import pytest
 
@@ -70,6 +71,67 @@ def test_write_csv_append_keeps_single_header(tmp_path):
     write_csv(str(target), ["a", "b"], [[3, 4]], append=True)
     rows = list(csv.reader(open(target)))
     assert rows == [["a", "b"], ["1", "2"], ["3", "4"]]
+
+
+@pytest.fixture
+def traced_run(tmp_path):
+    """One small traced Eris run exported to JSONL."""
+    trace = tmp_path / "run.jsonl"
+    code = main(["--system", "eris", "--workload", "srw",
+                 "--shards", "2", "--clients", "5", "--keys", "100",
+                 "--warmup", "0.002", "--duration", "0.005",
+                 "--trace", str(trace)])
+    assert code == 0
+    return trace
+
+
+def test_trace_analyze_reports_phase_attribution(traced_run, capsys):
+    capsys.readouterr()
+    assert main(["trace", "analyze", str(traced_run)]) == 0
+    out = capsys.readouterr().out
+    assert "commit latency attribution" in out
+    for phase in ("client_to_seq", "sequencer", "replica_apply",
+                  "quorum_wait", "end_to_end"):
+        assert phase in out
+    assert "phase sums vs end-to-end" in out
+    assert "slowest counted quorum member" in out
+
+
+def test_trace_analyze_json_and_chrome_export(traced_run, tmp_path, capsys):
+    breakdown = tmp_path / "breakdown.json"
+    chrome = tmp_path / "run.trace.json"
+    code = main(["trace", "analyze", str(traced_run),
+                 "--json", str(breakdown), "--chrome", str(chrome),
+                 "--top", "2"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "slowest transactions" in out
+    report = json.load(open(breakdown))
+    assert report["txns"]["attributed"] > 0
+    assert report["trace"] == str(traced_run)
+    assert set(report["phase_order"]) <= set(report["phases"])
+    payload = json.load(open(chrome))
+    assert payload["traceEvents"]
+
+
+def test_trace_analyze_missing_file(capsys):
+    assert main(["trace", "analyze", "/nonexistent/trace.jsonl"]) == 2
+    assert "cannot read trace" in capsys.readouterr().err
+
+
+def test_trace_analyze_malformed_line_names_lineno(tmp_path, capsys):
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text('{"ts": 0.0, "kind": "send", "node": "a", "cause": 1}\n'
+                   "garbage\n")
+    assert main(["trace", "analyze", str(bad)]) == 2
+    assert "bad.jsonl:2" in capsys.readouterr().err
+
+
+def test_trace_summary_malformed_line_names_lineno(tmp_path, capsys):
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text("garbage\n")
+    assert main(["trace", str(bad)]) == 2
+    assert "bad.jsonl:1" in capsys.readouterr().err
 
 
 def test_write_csv_overwrite(tmp_path):

@@ -44,13 +44,13 @@ PRE_OPTIMIZATION_PACKETS_SENT = 6172
 PRE_OPTIMIZATION_THROUGHPUT = 377666.6666666667
 
 
-def run_small_eris():
+def run_small_eris(tracing: bool = False):
     """One small fig6-style Eris measurement with an event fingerprint."""
     registry = ProcedureRegistry()
     register_ycsb_procedures(registry)
     partitioner = Partitioner(2)
     cluster = build_cluster(
-        ClusterConfig(system="eris", n_shards=2, seed=42),
+        ClusterConfig(system="eris", n_shards=2, seed=42, tracing=tracing),
         registry, partitioner,
         loader=lambda stores, p: load_ycsb(stores, p, 500))
     digest = hashlib.sha256()
@@ -91,6 +91,18 @@ def test_optimized_loop_matches_pre_optimization_pinned_sequence():
     assert run["committed"] == PRE_OPTIMIZATION_COMMITTED
     assert run["packets_sent"] == PRE_OPTIMIZATION_PACKETS_SENT
     assert run["throughput"] == pytest.approx(PRE_OPTIMIZATION_THROUGHPUT)
+
+
+def test_tracing_does_not_perturb_the_event_stream():
+    """Trace hooks observe; they must not schedule events or consume
+    randomness. A traced run therefore fires the *identical* pinned
+    event sequence — tracing is free of Heisenberg effects, so span
+    analysis describes exactly the run you would have had without it."""
+    run = run_small_eris(tracing=True)
+    assert run["digest"] == PRE_OPTIMIZATION_DIGEST
+    assert run["fired"] == PRE_OPTIMIZATION_FIRED
+    assert run["committed"] == PRE_OPTIMIZATION_COMMITTED
+    assert run["packets_sent"] == PRE_OPTIMIZATION_PACKETS_SENT
 
 
 # -- boundedness under churn ----------------------------------------------

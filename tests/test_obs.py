@@ -107,6 +107,19 @@ def test_tracer_drop_and_stamp_events():
     assert drop.cause == packet.trace_id
 
 
+def test_sequencer_stamp_records_queue_delay_only_when_given():
+    tracer = Tracer()
+    packet = _packet(dst=None, groupcast=GroupcastHeader(groups=(0,)),
+                     sequenced=True)
+    tracer.packet_send(packet)
+    packet.multistamp = MultiStamp(epoch=1, stamps=((0, 1),))
+    tracer.sequencer_stamp("seq0", packet)                  # legacy call
+    tracer.sequencer_stamp("seq0", packet, queue_delay=2e-6)
+    plain, delayed = tracer.select("stamp")
+    assert "queue_delay" not in plain.data
+    assert delayed.data["queue_delay"] == 2e-6
+
+
 def test_tracer_export_and_load_roundtrip(tmp_path):
     tracer = Tracer(clock=lambda: 1.25)
     packet = _packet()
@@ -124,6 +137,38 @@ def test_tracer_export_and_load_roundtrip(tmp_path):
     with open(path) as handle:       # every line is standalone JSON
         for line in handle:
             json.loads(line)
+
+
+def test_export_is_atomic_and_leaves_no_temp_file(tmp_path):
+    tracer = Tracer()
+    tracer.packet_send(_packet())
+    path = tmp_path / "trace.jsonl"
+    path.write_text("precious previous export\n")
+    tracer.export(str(path))
+    assert list(tmp_path.iterdir()) == [path]   # temp file renamed away
+    assert len(load_trace(str(path))) == 1
+
+
+def test_export_failure_preserves_existing_file(tmp_path, monkeypatch):
+    tracer = Tracer()
+    tracer.packet_send(_packet())
+    path = tmp_path / "trace.jsonl"
+    path.write_text("precious previous export\n")
+    monkeypatch.setattr(json, "dumps",
+                        lambda *a, **k: (_ for _ in ()).throw(OSError("disk")))
+    with pytest.raises(OSError):
+        tracer.export(str(path))
+    # The crash left neither a truncated export nor a temp file behind.
+    assert path.read_text() == "precious previous export\n"
+    assert list(tmp_path.iterdir()) == [path]
+
+
+def test_load_trace_reports_offending_line_number(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    path.write_text('{"ts": 0.0, "kind": "send", "node": "a", "cause": 1}\n'
+                    '{"ts": 0.1, "kind": "deliver", not json\n')
+    with pytest.raises(ValueError, match=r"trace\.jsonl:2: malformed"):
+        load_trace(str(path))
 
 
 def test_summarize_trace_counts_and_stamp_gaps():
@@ -235,3 +280,52 @@ def test_registry_gauge_rewire_and_type_clash():
     registry.counter("net", "x")
     with pytest.raises(TypeError):
         registry.gauge("net", "x")
+
+
+def test_registry_gauge_type_clash_with_fn_raises_typeerror():
+    # Regression: the fn assignment used to run before the type check,
+    # so a Counter registered under the key surfaced as AttributeError
+    # (slots) instead of the intended TypeError.
+    registry = MetricsRegistry()
+    registry.counter("net", "x")
+    with pytest.raises(TypeError, match="already registered as Counter"):
+        registry.gauge("net", "x", fn=lambda: 1.0)
+
+
+def test_histogram_merge_folds_exactly():
+    left = Histogram(scale=1.0, growth=2.0)
+    right = Histogram(scale=1.0, growth=2.0)
+    for value in (0.5, 3.0):
+        left.record(value)
+    for value in (1.5, 100.0):
+        right.record(value)
+    combined = Histogram(scale=1.0, growth=2.0)
+    for value in (0.5, 3.0, 1.5, 100.0):
+        combined.record(value)
+    assert left.merge(right) is left            # reduce-chain friendly
+    assert left.buckets == combined.buckets
+    assert left.count == 4
+    assert left.total == pytest.approx(combined.total)
+    assert left.min == 0.5 and left.max == 100.0
+    assert left.percentile(50) == combined.percentile(50)
+
+
+def test_histogram_merge_empty_operands():
+    hist = Histogram(scale=1.0)
+    hist.record(2.0)
+    hist.merge(Histogram(scale=1.0))            # empty right: no-op
+    assert hist.count == 1 and hist.min == 2.0 and hist.max == 2.0
+    empty = Histogram(scale=1.0)
+    empty.merge(hist)                           # empty left: becomes hist
+    assert empty.count == 1
+    assert empty.min == 2.0 and empty.max == 2.0
+
+
+def test_histogram_merge_rejects_incompatible_geometry():
+    base = Histogram(scale=1.0, growth=2.0)
+    with pytest.raises(ValueError, match="geometry"):
+        base.merge(Histogram(scale=2.0, growth=2.0))
+    with pytest.raises(ValueError, match="geometry"):
+        base.merge(Histogram(scale=1.0, growth=4.0))
+    with pytest.raises(TypeError):
+        base.merge([1.0, 2.0])
