@@ -24,6 +24,7 @@ __version__ = "1.0.0"
 
 from repro.errors import (
     ConfigurationError,
+    ExperimentError,
     InvariantViolation,
     LockConflict,
     NetworkError,
@@ -36,6 +37,7 @@ from repro.errors import (
 __all__ = [
     "__version__",
     "ConfigurationError",
+    "ExperimentError",
     "InvariantViolation",
     "LockConflict",
     "NetworkError",

@@ -33,7 +33,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
-from repro.baselines.common import DoneFn, OpResult, WorkloadOp, fresh_txn_tag
+from repro.baselines.common import DoneFn, OpResult, WorkloadOp
 from repro.errors import TransactionAborted
 from repro.net.endpoint import Node
 from repro.net.message import Address, Packet
@@ -356,9 +356,9 @@ class GranolaClient(Node):
         self._pending: dict[str, _PendingOp] = {}
 
     def submit(self, op: WorkloadOp, done: DoneFn) -> None:
-        tag = fresh_txn_tag(self.address)
+        tag = self.fresh_tag(self.address)
         phase = "lock" if op.is_general else "request"
-        pending = _PendingOp(op=op, done=done, start=self.loop.now, tag=tag,
+        pending = _PendingOp(op=op, done=done, start=self.now, tag=tag,
                              phase=phase)
         pending.timer = self.timer(self.retry_timeout, self._retransmit, tag)
         pending.timer.start()
@@ -445,6 +445,6 @@ class GranolaClient(Node):
         pending.timer.stop()
         pending.done(OpResult(
             committed=committed,
-            latency=self.loop.now - pending.start,
+            latency=self.now - pending.start,
             result=result,
         ))

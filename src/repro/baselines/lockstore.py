@@ -30,7 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
-from repro.baselines.common import DoneFn, OpResult, WorkloadOp, fresh_txn_tag
+from repro.baselines.common import DoneFn, OpResult, WorkloadOp
 from repro.errors import TransactionAborted
 from repro.net.endpoint import Node
 from repro.net.message import Address, Packet
@@ -272,12 +272,12 @@ class LockStoreClient(Node):
 
     def submit(self, op: WorkloadOp, done: DoneFn,
                ts: Optional[tuple] = None) -> None:
-        tag = fresh_txn_tag(self.address)
+        tag = self.fresh_tag(self.address)
         # Wait-die priority: unique and totally ordered (time, tag) —
         # ties would let conflicting transactions all wait and deadlock.
-        pending = _PendingTxn(op=op, done=done, start=self.loop.now,
+        pending = _PendingTxn(op=op, done=done, start=self.now,
                               tag=tag,
-                              ts=(self.loop.now, tag) if ts is None else ts,
+                              ts=(self.now, tag) if ts is None else ts,
                               phase="prepare")
         pending.timer = self.timer(self.retry_timeout, self._retransmit, tag)
         pending.timer.start()
@@ -358,13 +358,13 @@ class LockStoreClient(Node):
         self.aborts_retried += 1
         if pending.retries > self.max_retries:
             pending.done(OpResult(committed=False,
-                                  latency=self.loop.now - pending.start,
+                                  latency=self.now - pending.start,
                                   retries=pending.retries))
             return
-        self.loop.schedule(self.backoff, self._resubmit, pending)
+        self.call_later(self.backoff, self._resubmit, pending)
 
     def _resubmit(self, pending: _PendingTxn) -> None:
-        tag = fresh_txn_tag(self.address)
+        tag = self.fresh_tag(self.address)
         fresh = _PendingTxn(op=pending.op, done=pending.done,
                             start=pending.start, tag=tag, ts=pending.ts,
                             phase="prepare", retries=pending.retries)
@@ -394,7 +394,7 @@ class LockStoreClient(Node):
         pending.timer.stop()
         pending.done(OpResult(
             committed=committed,
-            latency=self.loop.now - pending.start,
+            latency=self.now - pending.start,
             result=result,
             retries=pending.retries,
         ))

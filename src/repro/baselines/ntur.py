@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable, Optional
 
-from repro.baselines.common import DoneFn, OpResult, WorkloadOp, fresh_txn_tag
+from repro.baselines.common import DoneFn, OpResult, WorkloadOp
 from repro.errors import TransactionAborted
 from repro.net.endpoint import Node
 from repro.net.message import Address, Packet
@@ -123,9 +123,9 @@ class NTURClient(Node):
         self._pending: dict[str, _Pending] = {}
 
     def submit(self, op: WorkloadOp, done: DoneFn) -> None:
-        tag = fresh_txn_tag(self.address)
+        tag = self.fresh_tag(self.address)
         if op.is_general:
-            pending = _Pending(op=op, done=done, start=self.loop.now,
+            pending = _Pending(op=op, done=done, start=self.now,
                                phase="read",
                                awaiting=set(op.participants))
             self._pending[tag] = pending
@@ -134,7 +134,7 @@ class NTURClient(Node):
                 self.send(self.shard_servers[shard],
                           NTURRead(tag=tag, keys=keys))
         else:
-            pending = _Pending(op=op, done=done, start=self.loop.now,
+            pending = _Pending(op=op, done=done, start=self.now,
                                phase="execute",
                                awaiting=set(op.participants))
             self._pending[tag] = pending
@@ -173,6 +173,6 @@ class NTURClient(Node):
         del self._pending[tag]
         pending.done(OpResult(
             committed=committed,
-            latency=self.loop.now - pending.start,
+            latency=self.now - pending.start,
             result=pending.results,
         ))

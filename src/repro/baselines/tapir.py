@@ -26,7 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
-from repro.baselines.common import DoneFn, OpResult, WorkloadOp, fresh_txn_tag
+from repro.baselines.common import DoneFn, OpResult, WorkloadOp
 from repro.errors import TransactionAborted
 from repro.net.endpoint import Node
 from repro.net.message import Address, Packet
@@ -232,10 +232,10 @@ class TapirClient(Node):
 
     def submit(self, op: WorkloadOp, done: DoneFn, retries: int = 0,
                start: Optional[float] = None) -> None:
-        tag = fresh_txn_tag(self.address)
+        tag = self.fresh_tag(self.address)
         pending = _PendingTxn(op=op, done=done,
-                              start=self.loop.now if start is None else start,
-                              tag=tag, ts=self.loop.now, phase="prepare",
+                              start=self.now if start is None else start,
+                              tag=tag, ts=self.now, phase="prepare",
                               retries=retries)
         pending.fast_timer = self.timer(self.fast_timeout,
                                         self._fast_window_closed, tag)
@@ -360,10 +360,10 @@ class TapirClient(Node):
         self.aborts_retried += 1
         if pending.retries > self.max_retries:
             pending.done(OpResult(committed=False,
-                                  latency=self.loop.now - pending.start,
+                                  latency=self.now - pending.start,
                                   retries=pending.retries))
             return
-        self.loop.schedule(
+        self.call_later(
             self.backoff,
             lambda: self.submit(pending.op, pending.done,
                                 retries=pending.retries,
@@ -391,7 +391,7 @@ class TapirClient(Node):
         self._teardown(pending)
         pending.done(OpResult(
             committed=committed,
-            latency=self.loop.now - pending.start,
+            latency=self.now - pending.start,
             result=pending.result,
             retries=pending.retries,
         ))

@@ -122,7 +122,7 @@ class ErisClient(Node):
         pending = _PendingTxn(
             txn=txn,
             callback=callback,
-            start_time=self.loop.now,
+            start_time=self.now,
             quorums={shard: ViewConsistentQuorum(self.shard_sizes[shard])
                      for shard in txn.participants},
         )
@@ -135,7 +135,7 @@ class ErisClient(Node):
     def _transmit(self, txn: IndependentTransaction, retry: int = 0) -> None:
         packet = self.send_groupcast(txn.participants,
                                      IndependentTxnRequest(txn))
-        tracer = self.network.tracer
+        tracer = self.tracer
         if tracer is not None and packet is not None:
             # One txn_submit per transmission attempt; the causal id
             # ties the attempt to its request packet's fan-out tree.
@@ -158,10 +158,10 @@ class ErisClient(Node):
             # stats silently undercount.
             self.timedout_count += 1
             outcome = TxnOutcome(txn_id=txn_id, committed=False, results={},
-                                 latency=self.loop.now - pending.start_time,
+                                 latency=self.now - pending.start_time,
                                  retries=pending.retries)
-            if self.network.tracer is not None:
-                self.network.tracer.record(
+            if self.tracer is not None:
+                self.tracer.record(
                     "txn_complete", self.address, txn=txn_id.label(),
                     committed=False, timedout=True,
                     retries=pending.retries)
@@ -206,11 +206,11 @@ class ErisClient(Node):
             committed=committed,
             results={shard: result
                      for shard, (_, result) in pending.satisfied.items()},
-            latency=self.loop.now - pending.start_time,
+            latency=self.now - pending.start_time,
             retries=pending.retries,
         )
-        if self.network.tracer is not None:
-            self.network.tracer.record(
+        if self.tracer is not None:
+            self.tracer.record(
                 "txn_complete", self.address,
                 txn=pending.txn.txn_id.label(), committed=committed,
                 timedout=False, retries=pending.retries)

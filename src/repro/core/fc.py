@@ -88,7 +88,7 @@ class FailureCoordinator(Node):
 
     # -- observability ----------------------------------------------------
     def _trace(self, kind: str, **data) -> None:
-        tracer = self.network.tracer
+        tracer = self.tracer
         if tracer is not None:
             tracer.record(kind, self.address, **data)
 

@@ -64,7 +64,7 @@ class GeneralTransactionManager:
     ) -> TxnId:
         """Run one general transaction; ``callback`` fires after the
         conclusory transaction completes on every participant."""
-        start = self.client.loop.now
+        start = self.client.now
         gtid = self.client.submit(
             proc="__prelim__",
             args={"expected": expected} if expected else {},
@@ -118,7 +118,7 @@ class GeneralTransactionManager:
             gtid=gtid,
             committed=committed,
             values=values,
-            latency=self.client.loop.now - start,
+            latency=self.client.now - start,
             reason=reason,
         ))
 

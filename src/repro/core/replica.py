@@ -137,7 +137,7 @@ class ErisReplica(Node):
         self.store = store
         self.initial_snapshot = store.snapshot()
         self.engine = ExecutionEngine(store, registry, shard, owns,
-                                      clock=lambda: self.loop.now)
+                                      clock=lambda: self.now)
         self._fed: list[tuple[SlotId, str]] = []   # (slot, kind) fed so far
         self._delivery_queue: deque[tuple[SlotId, Optional[TxnRecord]]] = deque()
         self._recovering: dict[SlotId, _Recovery] = {}
@@ -166,12 +166,8 @@ class ErisReplica(Node):
         self.drops_escalated_to_fc = 0
 
     # -- observability ----------------------------------------------------
-    @property
-    def tracer(self):
-        return self.network.tracer
-
     def _trace_append(self, entry: LogEntry) -> None:
-        tracer = self.network.tracer
+        tracer = self.tracer
         if tracer is None:
             return
         data = {"shard": self.shard, "index": entry.index,
@@ -182,7 +178,7 @@ class ErisReplica(Node):
         tracer.record("log_append", self.address, **data)
 
     def _trace_apply(self, entry: LogEntry) -> None:
-        tracer = self.network.tracer
+        tracer = self.tracer
         if tracer is None:
             return
         tracer.record("apply", self.address, shard=self.shard,
@@ -291,7 +287,7 @@ class ErisReplica(Node):
 
     def _append_noop(self, slot: SlotId) -> None:
         entry = self.log.append_noop(slot)
-        if self.network.tracer is not None:
+        if self.tracer is not None:
             self._trace_append(entry)
         if self.is_dl:
             self._feed_entry(entry)
@@ -303,14 +299,14 @@ class ErisReplica(Node):
             # it does not participate in — CPU was burned, slot consumed,
             # nothing to do (the cost Figure 11 measures).
             self.log.append_noop(slot)
-            if self.network.tracer is not None:
+            if self.tracer is not None:
                 self._trace_append(self.log.get(self.log.last_index))
             if self.is_dl:
                 self._feed_entry(self.log.get(self.log.last_index))
             return
         entry = self.log.append_txn(slot, record)
         self.txns_processed += 1
-        if self.network.tracer is not None:
+        if self.tracer is not None:
             self._trace_append(entry)
         self._cancel_recovery(slot)
         if self.is_dl:
@@ -322,7 +318,7 @@ class ErisReplica(Node):
                     reply_to: Optional[Address] = None) -> None:
         """Feed the engine in log order (DL live path / catch-up)."""
         self._fed.append((entry.slot, entry.kind))
-        if self.network.tracer is not None:
+        if self.tracer is not None:
             self._trace_apply(entry)
         if entry.kind == "txn":
             self.busy(self.config.execution_cost)
@@ -352,7 +348,7 @@ class ErisReplica(Node):
             committed=committed,
             result=result,
         ))
-        tracer = self.network.tracer
+        tracer = self.tracer
         if tracer is not None and packet is not None:
             # The reply's causal id lets the span builder pair each
             # per-replica reply with its delivery at the client.
@@ -370,8 +366,8 @@ class ErisReplica(Node):
     def _start_recovery(self, slot: SlotId) -> None:
         if slot in self._recovering or slot.seq < self.channel.next_seq:
             return
-        if self.network.tracer is not None:
-            self.network.tracer.record("recovery_start", self.address,
+        if self.tracer is not None:
+            self.tracer.record("recovery_start", self.address,
                                        shard=self.shard,
                                        slot=_slot_fields(slot))
         recovery = _Recovery(slot=slot, phase="wait")
@@ -403,8 +399,8 @@ class ErisReplica(Node):
             return
         recovery.phase = "fc"
         self.drops_escalated_to_fc += 1
-        if self.network.tracer is not None:
-            self.network.tracer.record("recovery_fc", self.address,
+        if self.tracer is not None:
+            self.tracer.record("recovery_fc", self.address,
                                        shard=self.shard,
                                        slot=_slot_fields(slot))
         self.send(self.fc_address, FindTxn(slot=slot, sender=self.address))
@@ -436,8 +432,8 @@ class ErisReplica(Node):
             return
         if msg.entry is not None:
             self.drops_recovered_from_peer += 1
-            if self.network.tracer is not None:
-                self.network.tracer.record("recovery_peer", self.address,
+            if self.tracer is not None:
+                self.tracer.record("recovery_peer", self.address,
                                            shard=self.shard,
                                            slot=_slot_fields(msg.slot),
                                            peer=src)
@@ -519,8 +515,8 @@ class ErisReplica(Node):
     def _sync_tick(self) -> None:
         if not self.is_dl or self.status != "normal" or self.crashed:
             return
-        if self.network.tracer is not None:
-            self.network.tracer.record("sync", self.address,
+        if self.tracer is not None:
+            self.tracer.record("sync", self.address,
                                        shard=self.shard, view=self.view_num,
                                        epoch=self.epoch_num,
                                        log_len=self.log.last_index)
@@ -555,7 +551,7 @@ class ErisReplica(Node):
             adopted = (self.log.append_txn(entry.slot, entry.record)
                        if entry.kind == "txn"
                        else self.log.append_noop(entry.slot))
-            if self.network.tracer is not None:
+            if self.tracer is not None:
                 self._trace_append(adopted)
             self._cancel_recovery(entry.slot)
             if adopted.kind == "txn":
@@ -573,7 +569,7 @@ class ErisReplica(Node):
             self.busy(self.config.execution_cost if entry.kind == "txn"
                       else 0.0)
             self._fed.append((entry.slot, entry.kind))
-            if self.network.tracer is not None:
+            if self.tracer is not None:
                 self._trace_apply(entry)
             if entry.kind == "txn":
                 self.engine.feed(entry)
@@ -593,7 +589,7 @@ class ErisReplica(Node):
     def _abort_stuck_generals(self) -> None:
         if not self.engine.pending_generals:
             return
-        horizon = self.loop.now - self.config.general_abort_timeout
+        horizon = self.now - self.config.general_abort_timeout
         for pending in self.engine.expired_generals(horizon):
             self._abort_seq += 1
             abort_txn = IndependentTransaction(
@@ -617,8 +613,8 @@ class ErisReplica(Node):
         self.status = "view-change"
         self.view_num = new_view
         self._vc_pending_view = new_view
-        if self.network.tracer is not None:
-            self.network.tracer.record("view_change_start", self.address,
+        if self.tracer is not None:
+            self.tracer.record("view_change_start", self.address,
                                        shard=self.shard, view=new_view,
                                        epoch=self.epoch_num)
         self._sync_timer.stop()
@@ -703,8 +699,8 @@ class ErisReplica(Node):
         self.status = "normal"
         self._vc_pending_view = None
         del self._vc_merged_log
-        if self.network.tracer is not None:
-            self.network.tracer.record("view_change_complete", self.address,
+        if self.tracer is not None:
+            self.tracer.record("view_change_complete", self.address,
                                        shard=self.shard, view=self.view_num,
                                        epoch=self.epoch_num, role="dl",
                                        log_len=self.log.last_index)
@@ -734,8 +730,8 @@ class ErisReplica(Node):
         self._adopt_log(list(msg.log))
         self.status = "normal"
         self._vc_pending_view = None
-        if self.network.tracer is not None:
-            self.network.tracer.record("view_change_complete", self.address,
+        if self.tracer is not None:
+            self.tracer.record("view_change_complete", self.address,
                                        shard=self.shard, view=self.view_num,
                                        epoch=self.epoch_num, role="follower",
                                        log_len=self.log.last_index)
@@ -755,8 +751,8 @@ class ErisReplica(Node):
         if new_epoch <= self._promised_epoch and self.status == "epoch-change":
             return
         self.status = "epoch-change"
-        if self.network.tracer is not None:
-            self.network.tracer.record("epoch_change_start", self.address,
+        if self.tracer is not None:
+            self.tracer.record("epoch_change_start", self.address,
                                        shard=self.shard, epoch=new_epoch)
         self._sync_timer.stop()
         self._vc_timer.stop()
@@ -809,8 +805,8 @@ class ErisReplica(Node):
                 self.log.last_seq(self.channel.epoch) + 1):
             self._apply_upcall(upcall)
         self._peer_synced = {a: 0 for a in self._peers()}
-        if self.network.tracer is not None:
-            self.network.tracer.record("epoch_change_complete", self.address,
+        if self.tracer is not None:
+            self.tracer.record("epoch_change_complete", self.address,
                                        shard=self.shard, epoch=msg.new_epoch,
                                        view=self.view_num,
                                        log_len=self.log.last_index)
@@ -835,8 +831,8 @@ class ErisReplica(Node):
             for i in range(len(self._fed))
         )
         self.log.replace(entries)
-        if self.network.tracer is not None:
-            self.network.tracer.record(
+        if self.tracer is not None:
+            self.tracer.record(
                 "log_adopt", self.address, shard=self.shard,
                 rebuilt=mismatch,
                 entries=[[e.index, e.kind, _entry_txn(e),

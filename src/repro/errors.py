@@ -47,3 +47,8 @@ class LockConflict(TransactionAborted):
 
 class InvariantViolation(ReproError):
     """A correctness checker found a violated protocol invariant."""
+
+
+class ExperimentError(ReproError):
+    """An experiment or smoke run failed to meet its success criteria
+    (distinct from a protocol invariant being violated)."""

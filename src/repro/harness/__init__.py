@@ -10,6 +10,8 @@ invariants, and format results (§8 methodology).
 - :mod:`repro.harness.faults` — drop-rate injection, sequencer and
   replica kills.
 - :mod:`repro.harness.results` — text tables for benchmark output.
+- :mod:`repro.harness.udp_smoke` — Eris over real UDP loopback sockets
+  (the asyncio runtime backend) with invariant checks.
 """
 
 from repro.harness.cluster import Cluster, ClusterConfig, build_cluster
@@ -30,6 +32,7 @@ from repro.harness.checkers import (
 )
 from repro.harness.faults import FaultPlan
 from repro.harness.results import format_metrics, format_table
+from repro.harness.udp_smoke import SmokeResult, run_udp_smoke
 
 __all__ = [
     "Cluster",
@@ -48,4 +51,6 @@ __all__ = [
     "FaultPlan",
     "format_metrics",
     "format_table",
+    "SmokeResult",
+    "run_udp_smoke",
 ]

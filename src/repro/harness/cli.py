@@ -114,6 +114,57 @@ def build_analyze_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_udpsmoke_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.harness.cli udpsmoke",
+        description="Run Eris end-to-end over real UDP loopback sockets "
+                    "(asyncio runtime backend) and check the §6.7 "
+                    "invariants.")
+    parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument("--replicas", type=int, default=3)
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument("--min-commits", type=int, default=50)
+    parser.add_argument("--timeout", type=float, default=30.0,
+                        help="real seconds to wait for --min-commits")
+    parser.add_argument("--workload", choices=("srw", "mrmw", "crmw"),
+                        default="mrmw")
+    parser.add_argument("--distributed", type=float, default=0.5)
+    parser.add_argument("--keys", type=int, default=200)
+    parser.add_argument("--seed", type=int, default=7)
+    return parser
+
+
+def udpsmoke_main(argv: Sequence[str]) -> int:
+    """The ``udpsmoke`` subcommand: real-transport smoke run."""
+    from repro.errors import ExperimentError, InvariantViolation
+    from repro.harness.udp_smoke import run_udp_smoke
+
+    args = build_udpsmoke_parser().parse_args(argv)
+    try:
+        result = run_udp_smoke(
+            n_shards=args.shards, n_replicas=args.replicas,
+            n_clients=args.clients, min_commits=args.min_commits,
+            timeout=args.timeout, workload=args.workload,
+            distributed_fraction=args.distributed, n_keys=args.keys,
+            seed=args.seed)
+    except (ExperimentError, InvariantViolation) as exc:
+        print(f"udp smoke: FAILED\n  {exc}", file=sys.stderr)
+        return 1
+    print(format_table(
+        ["stat", "value"],
+        [["backend", "asyncio-udp (loopback)"],
+         ["shards x replicas", f"{args.shards} x {args.replicas}"],
+         ["committed", result.committed],
+         ["aborted", result.aborted],
+         ["retries", result.retries],
+         ["wall seconds", f"{result.wall_seconds:.3f}"],
+         ["packets sent", result.packets_sent],
+         ["packets delivered", result.packets_delivered],
+         ["invariant checks", "OK"]],
+        title="udp smoke"))
+    return 0
+
+
 def run(args: argparse.Namespace):
     config = ClusterConfig(system=args.system, n_shards=args.shards,
                            n_replicas=args.replicas, seed=args.seed,
@@ -305,6 +356,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "trace":
         return trace_main(argv[1:])
+    if argv and argv[0] == "udpsmoke":
+        return udpsmoke_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.list_systems:

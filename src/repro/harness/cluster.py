@@ -52,6 +52,10 @@ class ClusterConfig:
     n_shards: int = 3
     n_replicas: int = 3
     seed: int = 42
+    #: Runtime backend: "sim" (discrete-event simulator; deterministic)
+    #: or "udp" (asyncio + real UDP sockets on loopback). The protocol
+    #: classes are identical under both; only the fabric changes.
+    backend: str = "sim"
     net: NetConfig = field(default_factory=NetConfig)
     sequencer_profile: str = "middlebox"
     n_sequencers: int = 2              # primary + standbys (Eris)
@@ -72,6 +76,9 @@ class ClusterConfig:
         if self.system not in SYSTEMS:
             raise ConfigurationError(
                 f"unknown system {self.system!r}; pick one of {SYSTEMS}")
+        if self.backend not in ("sim", "udp"):
+            raise ConfigurationError(
+                f"unknown backend {self.backend!r}; pick 'sim' or 'udp'")
         if self.n_shards < 1 or self.n_replicas < 1:
             raise ConfigurationError("need >= 1 shard and >= 1 replica")
         if self.sequencer_profile not in _PROFILES:
@@ -100,9 +107,16 @@ class Cluster:
         self.config = config
         self.registry = registry
         self.partitioner = partitioner
-        self.loop = EventLoop()
-        self.rng = SplitRandom(config.seed)
-        self.network = Network(self.loop, config.net, self.rng)
+        if config.backend == "udp":
+            from repro.runtime.asyncio_udp import AsyncioUdpRuntime
+            self.runtime = AsyncioUdpRuntime(seed=config.seed)
+        else:
+            self.loop = EventLoop()
+            self.rng = SplitRandom(config.seed)
+            self.runtime = Network(self.loop, config.net, self.rng)
+        #: Historical alias: the simulator's fabric is the runtime, and
+        #: the builders/tests reach it as ``cluster.network``.
+        self.network = self.runtime
         self.stores: dict[int, list[KVStore]] = {}
         self.replicas: dict[int, list] = {}
         self.sequencers: list[MultiSequencer] = []
@@ -118,8 +132,8 @@ class Cluster:
         """Attach a causal tracer to the fabric (idempotent) and wire
         the per-component metrics registry."""
         if self.tracer is None:
-            self.tracer = Tracer(clock=lambda: self.loop.now)
-            self.network.tracer = self.tracer
+            self.tracer = Tracer(clock=lambda: self.runtime.now)
+            self.runtime.tracer = self.tracer
         self.instrument_metrics()
         return self.tracer
 
@@ -127,8 +141,12 @@ class Cluster:
         """Register pull-gauges for every component that supports them
         (event loop, fabric, sequencers, Eris replicas, FC). Safe to
         call repeatedly; zero hot-path cost."""
-        self.loop.instrument(self.metrics)
-        self.network.instrument(self.metrics)
+        loop = getattr(self, "loop", None)
+        if loop is not None:
+            loop.instrument(self.metrics)
+        instrument = getattr(self.runtime, "instrument", None)
+        if instrument is not None:
+            instrument(self.metrics)
         for sequencer in self.sequencers:
             sequencer.instrument(self.metrics)
         if self.fc is not None:

@@ -77,7 +77,7 @@ class _ClosedLoopClient:
 
     def _done(self, op: WorkloadOp, result: OpResult) -> None:
         self.on_complete(op, result)
-        if self.client.node.loop.now < self.stop_time:
+        if self.client.node.now < self.stop_time:
             self._issue()
         else:
             self.active = False

@@ -118,7 +118,7 @@ class SDNController(Node):
         self._missed = 0
         self.network.install_sequencer_route(None)
         next_index = (self.active_index + 1) % len(self.sequencers)
-        self.loop.schedule(self.config.reroute_delay,
+        self.call_later(self.config.reroute_delay,
                            self._complete_failover, next_index)
 
     def _complete_failover(self, next_index: int) -> None:

@@ -16,6 +16,11 @@ makes servers saturate, which in turn is what makes throughput
 comparisons between protocols meaningful: a protocol that makes each
 server process more messages per transaction gets a proportionally
 lower ceiling, exactly the effect the paper measures.
+
+A node talks to the outside world exclusively through its
+:class:`~repro.runtime.interface.Runtime` (clock, timers, transport),
+so the same protocol classes run over the simulator and over real
+sockets (:mod:`repro.runtime.asyncio_udp`) without modification.
 """
 
 from __future__ import annotations
@@ -25,27 +30,47 @@ from typing import Any, Optional
 
 from repro.errors import NetworkError
 from repro.net.message import Address, GroupcastHeader, Packet
-from repro.net.network import Network
-from repro.sim.process import PeriodicTimer, Timer
+from repro.runtime.interface import Runtime, TimerHandle
 
 
 class Node:
-    """Base class for all simulated endpoints."""
+    """Base class for all protocol endpoints."""
 
     #: Default per-message processing cost (seconds). Subclasses and
     #: cluster builders override this to model faster/slower servers.
     msg_service_time: float = 0.0
 
-    def __init__(self, address: Address, network: Network):
+    def __init__(self, address: Address, runtime: Runtime):
         self.address = address
-        self.network = network
-        self.loop = network.loop
+        self.runtime = runtime
+        #: Historical alias — the simulator's fabric *is* the runtime,
+        #: and a large body of callers (and tests) reach it as
+        #: ``node.network``.
+        self.network = runtime
+        #: Simulator-only escape hatch for tests; real transports have
+        #: no event loop to expose.
+        self.loop = getattr(runtime, "loop", None)
         self._busy_until = 0.0
         self._inbox: deque[Packet] = deque()
         self._drain_pending = False
         self.messages_processed = 0
         self.crashed = False
-        network.register(self)
+        runtime.register(self)
+
+    # -- runtime conveniences ----------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.runtime.now
+
+    @property
+    def tracer(self):
+        return self.runtime.tracer
+
+    def call_later(self, delay: float, fn, *args) -> Any:
+        return self.runtime.call_later(delay, fn, *args)
+
+    def fresh_tag(self, prefix: str) -> str:
+        return self.runtime.fresh_tag(prefix)
 
     # -- sending -----------------------------------------------------------
     def send(self, dst: Address, message: Any) -> Optional[Packet]:
@@ -55,7 +80,7 @@ class Node:
         if self.crashed:
             return None
         packet = Packet(src=self.address, dst=dst, payload=message)
-        self.network.send(packet)
+        self.runtime.send(packet)
         return packet
 
     def send_groupcast(self, groups: tuple[int, ...], message: Any,
@@ -75,15 +100,15 @@ class Node:
             groupcast=GroupcastHeader(tuple(groups)),
             sequenced=sequenced,
         )
-        self.network.send(packet)
+        self.runtime.send(packet)
         return packet
 
     # -- timers --------------------------------------------------------------
-    def timer(self, delay: float, fn, *args) -> Timer:
-        return Timer(self.loop, delay, fn, *args)
+    def timer(self, delay: float, fn, *args) -> TimerHandle:
+        return self.runtime.timer(delay, fn, *args)
 
-    def periodic(self, period: float, fn, *args) -> PeriodicTimer:
-        return PeriodicTimer(self.loop, period, fn, *args)
+    def periodic(self, period: float, fn, *args) -> TimerHandle:
+        return self.runtime.periodic(period, fn, *args)
 
     # -- CPU model -----------------------------------------------------------
     def service_time_for(self, packet: Packet) -> float:
@@ -95,12 +120,12 @@ class Node:
         """Charge extra CPU time (e.g. transaction execution)."""
         if duration <= 0.0:
             return
-        base = max(self._busy_until, self.loop.now)
+        base = max(self._busy_until, self.runtime.now)
         self._busy_until = base + duration
 
     # -- delivery ------------------------------------------------------------
     def deliver(self, packet: Packet) -> None:
-        """Called by the network on arrival; applies the CPU model.
+        """Called by the transport on arrival; applies the CPU model.
 
         Arrivals enter a FIFO inbox drained one message at a time; each
         occupies the server for its service time plus whatever extra
@@ -113,15 +138,16 @@ class Node:
         self._drain_inbox()
 
     def _drain_inbox(self) -> None:
+        runtime = self.runtime
         while not self._drain_pending and self._inbox and not self.crashed:
-            start = max(self._busy_until, self.loop.now)
+            start = max(self._busy_until, runtime.now)
             finish = start + self.service_time_for(self._inbox[0])
             self._busy_until = finish
-            if finish <= self.loop.now:
+            if finish <= runtime.now:
                 self._process(self._inbox.popleft())
                 continue
             self._drain_pending = True
-            self.loop.schedule_at(finish, self._drain_one)
+            runtime.call_at(finish, self._drain_one)
 
     def _drain_one(self) -> None:
         self._drain_pending = False
@@ -149,8 +175,8 @@ class Node:
     def crash(self) -> None:
         """Fail-stop: drop all future deliveries and sends."""
         self.crashed = True
-        if self.network.tracer is not None:
-            self.network.tracer.record("crash", self.address)
+        if self.tracer is not None:
+            self.tracer.record("crash", self.address)
 
     def recover_address(self) -> None:  # pragma: no cover - used by demos
         self.crashed = False

@@ -1,4 +1,5 @@
-"""The simulated fabric.
+"""The simulated fabric — the simulator backend of the runtime
+interface.
 
 The network delivers :class:`~repro.net.message.Packet` objects between
 registered endpoints with sampled one-way latency and an optional drop
@@ -10,17 +11,28 @@ re-emits stamped per-recipient copies.
 Latency is sampled independently per packet, so the fabric naturally
 reorders messages under jitter; that is intentional, since tolerating
 reordering is precisely what multi-sequencing provides.
+
+:class:`Network` implements :class:`repro.runtime.interface.Runtime`:
+protocol nodes reach the clock, timers, and randomness through it and
+never touch the event loop directly, so the same protocol classes run
+over :mod:`repro.runtime.asyncio_udp` unchanged. Payloads are passed
+by reference for speed; :attr:`NetConfig.paranoid_codec` makes every
+delivery round-trip through the wire codec instead, which catches any
+handler that mutates a received message or relies on cross-recipient
+payload aliasing.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from repro.errors import NetworkError
 from repro.net.groupcast import GroupMembership
 from repro.net.message import Address, Packet
+from repro.runtime.interface import Runtime, TimerHandle
 from repro.sim.event_loop import EventLoop
+from repro.sim.process import PeriodicTimer, Timer
 from repro.sim.randomness import SplitRandom
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -39,6 +51,13 @@ class NetConfig:
     #: reorder; loss, not reordering, is the dominant anomaly. Set
     #: False to stress the protocols with arbitrary reordering.
     fifo_links: bool = True
+    #: Round-trip every payload through the wire codec at delivery.
+    #: Each recipient then gets its own decoded copy, so any handler
+    #: that mutates a received message — or relies on fan-out copies
+    #: aliasing one payload object — breaks loudly instead of silently
+    #: corrupting its peers. Costs ~one encode+decode per delivery;
+    #: off by default.
+    paranoid_codec: bool = False
 
     def validate(self) -> None:
         if self.base_latency < 0 or self.jitter < 0:
@@ -47,16 +66,25 @@ class NetConfig:
             raise NetworkError(f"drop_rate must be in [0, 1): {self.drop_rate}")
 
 
-class Network:
-    """Registry of endpoints plus the delivery engine."""
+class Network(Runtime):
+    """Registry of endpoints plus the delivery engine.
+
+    This is the simulator's implementation of the runtime interface:
+    the clock is the event loop's simulated time, timers are simulator
+    timers, and randomness is split off the experiment seed.
+    """
+
+    backend = "sim"
 
     def __init__(self, loop: EventLoop, config: Optional[NetConfig] = None,
                  rng: Optional[SplitRandom] = None):
+        super().__init__()
         config = config or NetConfig()
         config.validate()
         self.loop = loop
         self.config = config
-        self.rng = (rng or SplitRandom(0)).split("network")
+        self.base_rng = rng or SplitRandom(0)
+        self.rng = self.base_rng.split("network")
         self.groups = GroupMembership()
         self._endpoints: dict[Address, "Node"] = {}
         self.sequencer_address: Optional[Address] = None
@@ -75,6 +103,29 @@ class Network:
         #: every hook with one ``is not None`` check so the disabled
         #: path stays effectively free.
         self.tracer = None
+
+    # -- runtime interface: clock / scheduling / randomness ---------------
+    @property
+    def now(self) -> float:
+        return self.loop.now
+
+    def call_later(self, delay: float, fn: Callable[..., Any],
+                   *args: Any):
+        return self.loop.schedule(delay, fn, *args)
+
+    def call_at(self, time: float, fn: Callable[..., Any], *args: Any):
+        return self.loop.schedule_at(time, fn, *args)
+
+    def timer(self, delay: float, fn: Callable[..., Any],
+              *args: Any) -> TimerHandle:
+        return Timer(self.loop, delay, fn, *args)
+
+    def periodic(self, period: float, fn: Callable[..., Any],
+                 *args: Any) -> TimerHandle:
+        return PeriodicTimer(self.loop, period, fn, *args)
+
+    def rng_stream(self, name: str) -> SplitRandom:
+        return self.base_rng.split(name)
 
     # -- registration ----------------------------------------------------
     def register(self, node: "Node") -> None:
@@ -207,4 +258,11 @@ class Network:
         self.packets_delivered += 1
         if self.tracer is not None:
             self.tracer.packet_deliver(packet)
+        if self.config.paranoid_codec:
+            # Re-materialize the packet through the wire codec so this
+            # recipient gets its own payload copy, exactly as it would
+            # over a real transport. The codec preserves packet/trace
+            # ids, so tracing and sequencer bookkeeping are unchanged.
+            from repro.runtime.codec import decode_packet, encode_packet
+            packet = decode_packet(encode_packet(packet))
         node.deliver(packet)

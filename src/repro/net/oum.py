@@ -36,8 +36,8 @@ class OUMSequencer(MultiSequencer):
             stamps=((self.GLOBAL_GROUP, self.global_counter),),
         )
         self.packets_stamped += 1
-        if self.network.tracer is not None:
-            self.network.tracer.sequencer_stamp(
+        if self.tracer is not None:
+            self.tracer.sequencer_stamp(
                 self.address, packet,
                 queue_delay=self._queue_delay(packet))
         return packet

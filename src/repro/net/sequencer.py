@@ -114,8 +114,8 @@ class MultiSequencer(Node):
             stamps.append((group, seq))
         packet.multistamp = MultiStamp(epoch=self.epoch, stamps=tuple(stamps))
         self.packets_stamped += 1
-        if self.network.tracer is not None:
-            self.network.tracer.sequencer_stamp(
+        if self.tracer is not None:
+            self.tracer.sequencer_stamp(
                 self.address, packet,
                 queue_delay=self._queue_delay(packet))
         return packet
@@ -127,7 +127,7 @@ class MultiSequencer(Node):
         ingress = self._ingress.pop(packet.packet_id, None)
         if ingress is None:
             return None  # tracer attached after this packet arrived
-        wait = (self.loop.now - ingress - self.profile.added_latency
+        wait = (self.now - ingress - self.profile.added_latency
                 - self.profile.per_packet_service)
         return max(0.0, wait)
 
@@ -146,7 +146,7 @@ class MultiSequencer(Node):
         # Charge the profile's traversal latency on top of queueing.
         if self.crashed:
             return
-        if self.network.tracer is not None and packet.groupcast is not None:
-            self._ingress[packet.packet_id] = self.loop.now
-        self.loop.schedule(self.profile.added_latency,
-                           super().deliver, packet)
+        if self.tracer is not None and packet.groupcast is not None:
+            self._ingress[packet.packet_id] = self.now
+        self.call_later(self.profile.added_latency,
+                        super().deliver, packet)

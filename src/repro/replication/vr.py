@@ -282,8 +282,8 @@ class VRReplica(Node):
     def _start_view_change(self, new_view: int) -> None:
         self.view = new_view
         self.vr_status = "view-change"
-        if self.network.tracer is not None:
-            self.network.tracer.record(
+        if self.tracer is not None:
+            self.tracer.record(
                 "view_change_start", self.address, protocol="vr",
                 shard=getattr(self, "shard", -1), view=new_view)
         self._heartbeat.stop()
@@ -363,8 +363,8 @@ class VRReplica(Node):
         self.view = view
         self.vr_status = "normal"
         self._last_normal_view = view
-        if self.network.tracer is not None:
-            self.network.tracer.record(
+        if self.tracer is not None:
+            self.tracer.record(
                 "view_change_complete", self.address, protocol="vr",
                 shard=getattr(self, "shard", -1), view=view,
                 role="leader" if self.leader_address == self.address

@@ -1,0 +1,355 @@
+"""Asyncio + real UDP sockets: the loopback backend of the runtime.
+
+Every registered endpoint gets its own UDP socket bound to
+``127.0.0.1:<ephemeral>``; a logical-address → port map plays the role
+of DNS. Packets are serialized with the typed wire codec
+(:mod:`repro.runtime.codec`), cross the kernel's loopback path, and are
+decoded on receive — so unlike the simulator nothing is ever shared by
+reference, and the exact bytes a real deployment would emit are what
+travels.
+
+Groupcast is provided the way §5.4's end-host deployment provides it:
+a sequencer endpoint (the unmodified :class:`~repro.net.sequencer.
+MultiSequencer`) receives sequenced groupcasts over its own socket,
+stamps them, and fans unicast copies back out. The SDN controller's
+"route installation" becomes an entry in this runtime's routing state.
+
+Backend properties (full matrix in DESIGN.md):
+
+- **delivery** — whatever the kernel does on loopback: effectively
+  reliable and FIFO, but UDP makes no promises and neither do we.
+- **groupcast** — user-space sequencer endpoint over UDP.
+- **clock** — the asyncio event loop's monotonic clock (real seconds).
+- **determinism** — none; scheduling is the OS's business here. The
+  §6.7 safety checkers still must pass on every run.
+
+The runtime is single-process and single-threaded: drive it with
+:meth:`AsyncioUdpRuntime.run_for` / :meth:`run_until` from ordinary
+synchronous harness code. Protocol callbacks run inside the asyncio
+loop exactly as they run inside the simulated event loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+from typing import Any, Callable, Optional
+
+from repro.errors import NetworkError
+from repro.net.groupcast import GroupMembership
+from repro.net.message import Address, Packet
+from repro.runtime.codec import CodecError, decode_packet, encode_packet
+from repro.runtime.interface import Runtime, TimerHandle
+from repro.sim.randomness import SplitRandom
+
+
+class _AsyncioTimer:
+    """Restartable one-shot timer over ``loop.call_later`` with the
+    same semantics as the simulator's :class:`repro.sim.process.Timer`:
+    ``start()`` (re)arms, discarding any previous deadline."""
+
+    def __init__(self, loop: asyncio.AbstractEventLoop, delay: float,
+                 fn: Callable[..., Any], *args: Any):
+        self._loop = loop
+        self.delay = delay
+        self._fn = fn
+        self._args = args
+        self._handle: Optional[asyncio.TimerHandle] = None
+
+    def start(self, delay: Optional[float] = None) -> None:
+        d = self.delay if delay is None else delay
+        if self._handle is not None:
+            self._handle.cancel()
+        self._handle = self._loop.call_later(d, self._fire)
+
+    def stop(self) -> None:
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def restart(self, delay: Optional[float] = None) -> None:
+        self.start(delay)
+
+    @property
+    def active(self) -> bool:
+        return self._handle is not None and not self._handle.cancelled()
+
+    def _fire(self) -> None:
+        self._handle = None
+        self._fn(*self._args)
+
+
+class _AsyncioPeriodic:
+    """Periodic timer matching :class:`repro.sim.process.PeriodicTimer`."""
+
+    def __init__(self, loop: asyncio.AbstractEventLoop, period: float,
+                 fn: Callable[..., Any], *args: Any):
+        self._loop = loop
+        self.period = period
+        self._fn = fn
+        self._args = args
+        self._handle: Optional[asyncio.TimerHandle] = None
+        self._stopped = True
+
+    def start(self, initial_delay: Optional[float] = None) -> None:
+        self.stop()
+        self._stopped = False
+        delay = self.period if initial_delay is None else initial_delay
+        self._handle = self._loop.call_later(delay, self._fire)
+
+    def stop(self) -> None:
+        self._stopped = True
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    @property
+    def active(self) -> bool:
+        return not self._stopped
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self._handle = self._loop.call_later(self.period, self._fire)
+        self._fn(*self._args)
+
+
+class _NodeProtocol(asyncio.DatagramProtocol):
+    """Receive path of one endpoint's socket."""
+
+    def __init__(self, runtime: "AsyncioUdpRuntime", address: Address):
+        self.runtime = runtime
+        self.address = address
+
+    def datagram_received(self, data: bytes, addr) -> None:
+        self.runtime._on_datagram(self.address, data)
+
+
+class AsyncioUdpRuntime(Runtime):
+    """Runtime over real UDP sockets on loopback, driven by asyncio."""
+
+    backend = "asyncio-udp"
+
+    def __init__(self, seed: int = 0, host: str = "127.0.0.1"):
+        super().__init__()
+        self.host = host
+        self.aloop = asyncio.new_event_loop()
+        self.base_rng = SplitRandom(seed)
+        self.groups = GroupMembership()
+        self.sequencer_address: Optional[Address] = None
+        self._endpoints: dict[Address, Any] = {}
+        self._socks: dict[Address, socket.socket] = {}
+        self._ports: dict[Address, int] = {}
+        self._transports: dict[Address, asyncio.DatagramTransport] = {}
+        self._egress: Optional[asyncio.DatagramTransport] = None
+        self._pending_sends: list[tuple[Address, bytes]] = []
+        self._started = False
+        self._closed = False
+        self.packets_sent = 0
+        self.packets_delivered = 0
+        self.packets_dropped = 0
+        self.decode_errors = 0
+        self.tracer = None
+
+    # -- clock / scheduling / randomness -----------------------------------
+    @property
+    def now(self) -> float:
+        return self.aloop.time()
+
+    def call_later(self, delay: float, fn: Callable[..., Any], *args: Any):
+        return self.aloop.call_later(max(0.0, delay), fn, *args)
+
+    def call_at(self, time: float, fn: Callable[..., Any], *args: Any):
+        return self.aloop.call_at(time, fn, *args)
+
+    def timer(self, delay: float, fn: Callable[..., Any],
+              *args: Any) -> TimerHandle:
+        return _AsyncioTimer(self.aloop, delay, fn, *args)
+
+    def periodic(self, period: float, fn: Callable[..., Any],
+                 *args: Any) -> TimerHandle:
+        return _AsyncioPeriodic(self.aloop, period, fn, *args)
+
+    def rng_stream(self, name: str) -> SplitRandom:
+        return self.base_rng.split(name)
+
+    # -- registration ------------------------------------------------------
+    def register(self, node: Any) -> None:
+        address = node.address
+        if address in self._endpoints:
+            raise NetworkError(f"duplicate endpoint address {address!r}")
+        # Bind synchronously so the logical address resolves (and the
+        # kernel buffers early arrivals) before the asyncio transport
+        # is attached at start().
+        sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        sock.setblocking(False)
+        sock.bind((self.host, 0))
+        self._endpoints[address] = node
+        self._socks[address] = sock
+        self._ports[address] = sock.getsockname()[1]
+        if self._started:
+            if self.aloop.is_running():
+                self.aloop.create_task(self._open_endpoint(address))
+            else:
+                self.aloop.run_until_complete(self._open_endpoint(address))
+
+    def unregister(self, address: Address) -> None:
+        self._endpoints.pop(address, None)
+        self._ports.pop(address, None)
+        transport = self._transports.pop(address, None)
+        if transport is not None:
+            transport.close()
+        sock = self._socks.pop(address, None)
+        if sock is not None and transport is None:
+            sock.close()
+
+    def endpoint(self, address: Address) -> Any:
+        try:
+            return self._endpoints[address]
+        except KeyError:
+            raise NetworkError(f"unknown endpoint {address!r}") from None
+
+    def has_endpoint(self, address: Address) -> bool:
+        return address in self._endpoints
+
+    # -- routing (exercised by the SDN controller) -------------------------
+    def install_sequencer_route(self, address: Optional[Address]) -> None:
+        self.sequencer_address = address
+
+    # -- sending -----------------------------------------------------------
+    def send(self, packet: Packet) -> None:
+        self.packets_sent += 1
+        if self.tracer is not None:
+            self.tracer.packet_send(packet)
+        if packet.groupcast is not None and packet.multistamp is None:
+            self._route_groupcast(packet)
+        else:
+            if packet.dst is None:
+                raise NetworkError("unicast packet without destination")
+            self._transmit(packet)
+
+    def fan_out(self, packet: Packet,
+                destinations: tuple[Address, ...]) -> None:
+        for dst in destinations:
+            self._transmit(packet.copy_to(dst))
+
+    def _route_groupcast(self, packet: Packet) -> None:
+        if not packet.sequenced:
+            for group in packet.groupcast.groups:
+                self.fan_out(packet, self.groups.members(group))
+            return
+        if self.sequencer_address is None or not self.has_endpoint(
+            self.sequencer_address
+        ):
+            self._drop(packet, "no-sequencer-route")
+            return
+        self._transmit(packet.copy_to(self.sequencer_address))
+
+    def _drop(self, packet: Packet, reason: str) -> None:
+        self.packets_dropped += 1
+        if self.tracer is not None:
+            self.tracer.packet_drop(packet, reason)
+
+    def _transmit(self, packet: Packet) -> None:
+        port = self._ports.get(packet.dst)
+        if port is None:
+            self._drop(packet, "dead-destination")
+            return
+        data = encode_packet(packet)
+        if self.tracer is not None:
+            self.tracer.packet_tx(packet)
+        if self._egress is None:
+            # Transport not up yet (e.g. the controller pings its
+            # sequencers at build time); flushed by start().
+            self._pending_sends.append((packet.dst, data))
+            return
+        self._egress.sendto(data, (self.host, port))
+
+    # -- receiving ---------------------------------------------------------
+    def _on_datagram(self, address: Address, data: bytes) -> None:
+        try:
+            packet = decode_packet(data)
+        except CodecError:
+            self.decode_errors += 1
+            return
+        node = self._endpoints.get(address)
+        if node is None:
+            self._drop(packet, "dead-destination")
+            return
+        self.packets_delivered += 1
+        if self.tracer is not None:
+            self.tracer.packet_deliver(packet)
+        node.deliver(packet)
+
+    # -- lifecycle ---------------------------------------------------------
+    async def _open_endpoint(self, address: Address) -> None:
+        sock = self._socks.get(address)
+        if sock is None or address in self._transports:
+            return
+        transport, _ = await self.aloop.create_datagram_endpoint(
+            lambda: _NodeProtocol(self, address), sock=sock)
+        self._transports[address] = transport
+
+    async def _open_all(self) -> None:
+        egress = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        egress.setblocking(False)
+        egress.bind((self.host, 0))
+        self._egress, _ = await self.aloop.create_datagram_endpoint(
+            asyncio.DatagramProtocol, sock=egress)
+        for address in list(self._endpoints):
+            await self._open_endpoint(address)
+
+    def start(self) -> None:
+        """Attach asyncio transports to every bound socket and flush
+        sends queued during cluster construction."""
+        if self._started:
+            return
+        self._started = True
+        self.aloop.run_until_complete(self._open_all())
+        pending, self._pending_sends = self._pending_sends, []
+        for dst, data in pending:
+            port = self._ports.get(dst)
+            if port is not None:
+                self._egress.sendto(data, (self.host, port))
+
+    def stop(self) -> None:
+        """Close every transport and the event loop (irreversible)."""
+        if self._closed:
+            return
+        self._closed = True
+        for transport in list(self._transports.values()):
+            transport.close()
+        self._transports.clear()
+        if self._egress is not None:
+            self._egress.close()
+            self._egress = None
+        for sock in self._socks.values():
+            # Transports close their socket; close() is idempotent, so
+            # closing again covers sockets never attached to one.
+            sock.close()
+        self._socks.clear()
+        if not self.aloop.is_running():
+            # Let asyncio finish the transport close callbacks.
+            self.aloop.run_until_complete(asyncio.sleep(0))
+            self.aloop.close()
+
+    # -- driving (synchronous harness surface) -----------------------------
+    def run_for(self, duration: float) -> None:
+        """Run the loop for ``duration`` real seconds."""
+        self.aloop.run_until_complete(asyncio.sleep(duration))
+
+    def run_until(self, predicate: Callable[[], bool], timeout: float,
+                  poll: float = 0.002) -> bool:
+        """Run the loop until ``predicate()`` holds (polled every
+        ``poll`` seconds) or ``timeout`` elapses; returns whether the
+        predicate held."""
+
+        async def _wait() -> bool:
+            deadline = self.aloop.time() + timeout
+            while self.aloop.time() < deadline:
+                if predicate():
+                    return True
+                await asyncio.sleep(poll)
+            return predicate()
+
+        return self.aloop.run_until_complete(_wait())

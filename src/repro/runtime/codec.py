@@ -1,0 +1,331 @@
+"""Typed wire codec: every protocol message to and from bytes.
+
+The simulator passes payloads between endpoints as shared Python
+object references; a real transport cannot. This codec gives every
+message dataclass in the repository a compact, self-describing wire
+form so the same protocol classes run over real sockets — and so the
+simulator can round-trip deliveries ("paranoid codec" mode,
+:attr:`repro.net.network.NetConfig.paranoid_codec`) to prove no
+handler mutates a received message or relies on cross-recipient
+payload aliasing.
+
+Wire format: a 4-byte magic/version prefix (``EWC1``) followed by a
+UTF-8 JSON document in which every composite value is a tagged array::
+
+    ["t", ...]            tuple
+    ["l", ...]            list
+    ["s", ...]            set            ["fs", ...]  frozenset
+    ["d", [k, v], ...]    dict (keys may be any encodable value)
+    ["b", "<base64>"]     bytes
+    ["m", "TxnReply", [<field values in declared order>]]   dataclass
+
+Scalars (str, int, float, bool, None) encode natively, so the common
+case stays small while the tags keep decoding unambiguous (a raw JSON
+array never appears untagged). Message types are registered by class
+name in a module-level registry; decoding an unregistered type, a
+truncated buffer, or a malformed document raises :class:`CodecError`
+rather than an arbitrary exception.
+"""
+
+from __future__ import annotations
+
+import base64
+import dataclasses
+import json
+from typing import Any, Iterable
+
+from repro.errors import ReproError
+
+
+class CodecError(ReproError):
+    """Raised for any encode/decode failure: unregistered or
+    unsupported types, truncated buffers, malformed documents."""
+
+
+_MAGIC = b"EWC1"
+
+#: Class-name -> class for every registered wire dataclass.
+_REGISTRY: dict[str, type] = {}
+#: Class -> field names in declared order (values travel positionally).
+_FIELD_NAMES: dict[type, tuple[str, ...]] = {}
+
+
+def register_message(cls: type) -> type:
+    """Register a dataclass as a wire message (usable as a decorator).
+    Registration is idempotent; two *different* classes sharing a name
+    would make decoding ambiguous and raise."""
+    if not dataclasses.is_dataclass(cls):
+        raise CodecError(f"{cls!r} is not a dataclass")
+    name = cls.__name__
+    existing = _REGISTRY.get(name)
+    if existing is not None:
+        if existing is not cls:
+            raise CodecError(
+                f"duplicate wire-message name {name!r}: "
+                f"{existing.__module__} vs {cls.__module__}")
+        return cls
+    _REGISTRY[name] = cls
+    _FIELD_NAMES[cls] = tuple(f.name for f in dataclasses.fields(cls))
+    return cls
+
+
+def register_messages(classes: Iterable[type]) -> None:
+    for cls in classes:
+        register_message(cls)
+
+
+def registered_message_types() -> dict[str, type]:
+    """Snapshot of the registry (name -> class)."""
+    _ensure_registry()
+    return dict(_REGISTRY)
+
+
+# -- value encoding -------------------------------------------------------
+
+def encode_value(value: Any) -> Any:
+    """Recursively transform ``value`` into the tagged-JSON form."""
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    cls = type(value)
+    if cls is tuple:
+        return ["t", *[encode_value(v) for v in value]]
+    if cls is list:
+        return ["l", *[encode_value(v) for v in value]]
+    if cls is dict:
+        return ["d", *[[encode_value(k), encode_value(v)]
+                       for k, v in value.items()]]
+    if cls is set:
+        return ["s", *[encode_value(v) for v in value]]
+    if cls is frozenset:
+        return ["fs", *[encode_value(v) for v in value]]
+    if cls is bytes:
+        return ["b", base64.b64encode(value).decode("ascii")]
+    if dataclasses.is_dataclass(cls):
+        fields = _FIELD_NAMES.get(cls)
+        if fields is None:
+            _ensure_registry()
+            fields = _FIELD_NAMES.get(cls)
+        if fields is None or _REGISTRY.get(cls.__name__) is not cls:
+            raise CodecError(
+                f"unregistered wire message type {cls.__module__}."
+                f"{cls.__name__}")
+        return ["m", cls.__name__,
+                [encode_value(getattr(value, name)) for name in fields]]
+    # Tuple subclasses (e.g. namedtuples) and other exotica are not
+    # wire types; failing loudly beats silently flattening them.
+    raise CodecError(f"cannot encode value of type {cls.__name__}: {value!r}")
+
+
+def decode_value(obj: Any) -> Any:
+    """Inverse of :func:`encode_value`."""
+    if obj is None or isinstance(obj, (str, int, float, bool)):
+        return obj
+    if not isinstance(obj, list) or not obj:
+        raise CodecError(f"malformed wire value: {obj!r}")
+    tag = obj[0]
+    if tag == "t":
+        return tuple(decode_value(v) for v in obj[1:])
+    if tag == "l":
+        return [decode_value(v) for v in obj[1:]]
+    if tag == "d":
+        try:
+            return {decode_value(k): decode_value(v) for k, v in obj[1:]}
+        except (TypeError, ValueError) as exc:
+            raise CodecError(f"malformed dict entry: {obj!r}") from exc
+    if tag == "s":
+        return {decode_value(v) for v in obj[1:]}
+    if tag == "fs":
+        return frozenset(decode_value(v) for v in obj[1:])
+    if tag == "b":
+        if len(obj) != 2 or not isinstance(obj[1], str):
+            raise CodecError(f"malformed bytes value: {obj!r}")
+        try:
+            return base64.b64decode(obj[1], validate=True)
+        except Exception as exc:
+            raise CodecError(f"malformed base64 payload: {obj[1]!r}") from exc
+    if tag == "m":
+        if len(obj) != 3 or not isinstance(obj[1], str) \
+                or not isinstance(obj[2], list):
+            raise CodecError(f"malformed message value: {obj!r}")
+        _ensure_registry()
+        cls = _REGISTRY.get(obj[1])
+        if cls is None:
+            raise CodecError(f"unknown wire message type {obj[1]!r}")
+        fields = _FIELD_NAMES[cls]
+        if len(obj[2]) != len(fields):
+            raise CodecError(
+                f"{obj[1]}: expected {len(fields)} fields, "
+                f"got {len(obj[2])}")
+        kwargs = {name: decode_value(v) for name, v in zip(fields, obj[2])}
+        try:
+            return cls(**kwargs)
+        except (TypeError, ValueError) as exc:
+            raise CodecError(f"cannot rebuild {obj[1]}: {exc}") from exc
+    raise CodecError(f"unknown wire tag {tag!r}")
+
+
+# -- message / packet framing ---------------------------------------------
+
+def encode_message(message: Any) -> bytes:
+    """Serialize one protocol message (or any encodable value)."""
+    try:
+        body = json.dumps(encode_value(message), separators=(",", ":"))
+    except (TypeError, ValueError) as exc:
+        raise CodecError(f"cannot serialize message: {exc}") from exc
+    return _MAGIC + body.encode("utf-8")
+
+
+def decode_message(buffer: bytes) -> Any:
+    """Inverse of :func:`encode_message`."""
+    if not isinstance(buffer, (bytes, bytearray, memoryview)):
+        raise CodecError(f"expected bytes, got {type(buffer).__name__}")
+    buffer = bytes(buffer)
+    if len(buffer) < len(_MAGIC) or buffer[:len(_MAGIC)] != _MAGIC:
+        raise CodecError("truncated or foreign buffer (bad magic)")
+    try:
+        obj = json.loads(buffer[len(_MAGIC):].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CodecError(f"truncated or malformed wire document: {exc}") \
+            from exc
+    return decode_value(obj)
+
+
+def encode_packet(packet: Any) -> bytes:
+    """Serialize a full :class:`~repro.net.message.Packet` envelope
+    (headers + payload) for a real transport or a paranoid round-trip."""
+    from repro.net.message import Packet
+
+    if type(packet) is not Packet:
+        raise CodecError(f"expected Packet, got {type(packet).__name__}")
+    envelope = ["t", packet.src, packet.dst, encode_value(packet.payload),
+                encode_value(packet.groupcast),
+                encode_value(packet.multistamp), packet.sequenced,
+                packet.packet_id, packet.trace_id]
+    try:
+        body = json.dumps(envelope, separators=(",", ":"))
+    except (TypeError, ValueError) as exc:
+        raise CodecError(f"cannot serialize packet: {exc}") from exc
+    return _MAGIC + body.encode("utf-8")
+
+
+def decode_packet(buffer: bytes) -> Any:
+    """Inverse of :func:`encode_packet`. The decoded packet keeps the
+    sender-assigned ``packet_id``/``trace_id`` so causal tracing and
+    sequencer bookkeeping are stable across the wire."""
+    from repro.net.message import GroupcastHeader, MultiStamp, Packet
+
+    envelope = decode_message(buffer)
+    if not isinstance(envelope, tuple) or len(envelope) != 8:
+        raise CodecError(f"malformed packet envelope: {envelope!r}")
+    (src, dst, payload, groupcast, multistamp, sequenced,
+     packet_id, trace_id) = envelope
+    if groupcast is not None and type(groupcast) is not GroupcastHeader:
+        raise CodecError(f"malformed groupcast header: {groupcast!r}")
+    if multistamp is not None and type(multistamp) is not MultiStamp:
+        raise CodecError(f"malformed multi-stamp: {multistamp!r}")
+    packet = object.__new__(Packet)
+    packet.src = src
+    packet.dst = dst
+    packet.payload = payload
+    packet.groupcast = groupcast
+    packet.multistamp = multistamp
+    packet.sequenced = bool(sequenced)
+    packet.packet_id = packet_id
+    packet.trace_id = trace_id
+    return packet
+
+
+# -- registry population --------------------------------------------------
+
+_registry_loaded = False
+
+
+def _ensure_registry() -> None:
+    """Register every wire dataclass in the repository. Deferred (and
+    import-cycle safe) because the protocol modules themselves import
+    nothing from the codec."""
+    global _registry_loaded
+    if _registry_loaded:
+        return
+    _registry_loaded = True
+
+    from repro.baselines import granola, lockstore, ntur, tapir
+    from repro.core import log as core_log
+    from repro.core import messages as core_messages
+    from repro.core import transaction
+    from repro.net import controller, message
+    from repro.replication import log as replication_log
+    from repro.replication import vr
+
+    register_messages([
+        # network-layer headers
+        message.GroupcastHeader,
+        message.MultiStamp,
+        # transaction identities
+        transaction.TxnId,
+        transaction.SlotId,
+        transaction.IndependentTransaction,
+        core_log.LogEntry,
+        replication_log.ReplicatedLogEntry,
+        # Eris protocol (§6)
+        core_messages.IndependentTxnRequest,
+        core_messages.TxnReply,
+        core_messages.PeerTxnRequest,
+        core_messages.PeerTxnResponse,
+        core_messages.TxnRecord,
+        core_messages.FindTxn,
+        core_messages.TxnRequestMsg,
+        core_messages.HasTxn,
+        core_messages.TempDroppedTxn,
+        core_messages.TxnFound,
+        core_messages.TxnDropped,
+        core_messages.ViewChange,
+        core_messages.StartView,
+        core_messages.EpochChangeReq,
+        core_messages.EpochStateRequest,
+        core_messages.EpochState,
+        core_messages.StartEpoch,
+        core_messages.StartEpochAck,
+        core_messages.ReconRead,
+        core_messages.ReconReply,
+        core_messages.SyncLog,
+        core_messages.SyncAck,
+        # control plane
+        controller.SequencerPing,
+        controller.SequencerPong,
+        # Viewstamped Replication
+        vr.VRPrepare,
+        vr.VRPrepareOK,
+        vr.VRCommit,
+        vr.VRStateRequest,
+        vr.VRStateTransfer,
+        vr.VRStartViewChange,
+        vr.VRDoViewChange,
+        vr.VRStartView,
+        # Lock-Store
+        lockstore.LSPrepare,
+        lockstore.LSVote,
+        lockstore.LSDecision,
+        lockstore.LSAck,
+        # Granola
+        granola.GRequest,
+        granola.GVote,
+        granola.GReply,
+        granola.GLockPrepare,
+        granola.GLockReply,
+        granola.GLockCommit,
+        granola.GLockAck,
+        # NT-UR
+        ntur.NTURExecute,
+        ntur.NTURRead,
+        ntur.NTURWrite,
+        ntur.NTURReply,
+        # TAPIR
+        tapir.TPrepare,
+        tapir.TPrepareReply,
+        tapir.TDecision,
+        tapir.TDecisionAck,
+        tapir.TSlowConfirm,
+        tapir.TSlowConfirmAck,
+        tapir.TFinalize,
+    ])

@@ -1,0 +1,38 @@
+"""The discrete-event simulator backend of the runtime interface.
+
+The simulator's fabric, :class:`repro.net.network.Network`, *is* the
+backend: it implements :class:`repro.runtime.interface.Runtime`
+directly (clock = the event loop's simulated time, timers = simulator
+timers, randomness = named streams split off the experiment seed, and
+payload delivery by shared reference — or through the wire codec when
+:attr:`~repro.net.network.NetConfig.paranoid_codec` is set). This
+module re-exports it under its backend name and provides the one-call
+constructor used by the cluster builder.
+
+Backend properties (see the full matrix in DESIGN.md):
+
+- **delivery** — sampled latency + optional loss; per-link FIFO by
+  default; payloads shared by reference (codec round-trip in paranoid
+  mode).
+- **groupcast** — routed in-fabric to the installed sequencer node.
+- **clock** — simulated seconds; advances only as events fire.
+- **determinism** — bit-identical across runs for one seed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.net.network import NetConfig, Network
+from repro.sim.event_loop import EventLoop
+from repro.sim.randomness import SplitRandom
+
+#: The simulator runtime class (the fabric itself).
+SimRuntime = Network
+
+
+def make_sim_runtime(seed: int = 0, config: Optional[NetConfig] = None,
+                     loop: Optional[EventLoop] = None) -> Network:
+    """Build a simulator runtime: event loop + seeded fabric."""
+    return Network(loop or EventLoop(), config or NetConfig(),
+                   SplitRandom(seed))

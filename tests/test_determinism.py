@@ -44,13 +44,14 @@ PRE_OPTIMIZATION_PACKETS_SENT = 6172
 PRE_OPTIMIZATION_THROUGHPUT = 377666.6666666667
 
 
-def run_small_eris(tracing: bool = False):
+def run_small_eris(tracing: bool = False, paranoid_codec: bool = False):
     """One small fig6-style Eris measurement with an event fingerprint."""
     registry = ProcedureRegistry()
     register_ycsb_procedures(registry)
     partitioner = Partitioner(2)
     cluster = build_cluster(
-        ClusterConfig(system="eris", n_shards=2, seed=42, tracing=tracing),
+        ClusterConfig(system="eris", n_shards=2, seed=42, tracing=tracing,
+                      net=NetConfig(paranoid_codec=paranoid_codec)),
         registry, partitioner,
         loader=lambda stores, p: load_ycsb(stores, p, 500))
     digest = hashlib.sha256()
@@ -103,6 +104,21 @@ def test_tracing_does_not_perturb_the_event_stream():
     assert run["fired"] == PRE_OPTIMIZATION_FIRED
     assert run["committed"] == PRE_OPTIMIZATION_COMMITTED
     assert run["packets_sent"] == PRE_OPTIMIZATION_PACKETS_SENT
+
+
+def test_paranoid_codec_mode_is_bit_identical():
+    """With every delivered payload round-tripped through the wire
+    codec (each recipient gets its own decoded copy, as over a real
+    transport), the simulation still fires the pinned event stream and
+    reaches the identical protocol outcome — proof that no handler
+    mutates a received message or relies on fan-out copies aliasing one
+    payload object."""
+    run = run_small_eris(paranoid_codec=True)
+    assert run["digest"] == PRE_OPTIMIZATION_DIGEST
+    assert run["fired"] == PRE_OPTIMIZATION_FIRED
+    assert run["committed"] == PRE_OPTIMIZATION_COMMITTED
+    assert run["packets_sent"] == PRE_OPTIMIZATION_PACKETS_SENT
+    assert run["throughput"] == pytest.approx(PRE_OPTIMIZATION_THROUGHPUT)
 
 
 # -- boundedness under churn ----------------------------------------------
