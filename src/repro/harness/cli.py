@@ -72,6 +72,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--remote", type=float, default=0.10,
                         help="TPC-C remote fraction")
     parser.add_argument("--drop-rate", type=float, default=0.0)
+    parser.add_argument("--chain", type=int, default=0, metavar="N",
+                        help="front Eris with an N-node chain-replicated "
+                             "sequencer (N=2..3; 0 = single sequencer)")
+    parser.add_argument("--kill-sequencer", type=float, default=None,
+                        metavar="T",
+                        help="kill the active sequencing element (chain "
+                             "head, or the routed sequencer) at simulated "
+                             "time T")
     parser.add_argument("--warmup", type=float, default=4e-3,
                         help="simulated seconds before measurement")
     parser.add_argument("--duration", type=float, default=10e-3,
@@ -168,6 +176,7 @@ def udpsmoke_main(argv: Sequence[str]) -> int:
 def run(args: argparse.Namespace):
     config = ClusterConfig(system=args.system, n_shards=args.shards,
                            n_replicas=args.replicas, seed=args.seed,
+                           sequencer_chain=getattr(args, "chain", 0),
                            net=NetConfig(drop_rate=args.drop_rate))
     registry = ProcedureRegistry()
     count_filter = None
@@ -193,6 +202,15 @@ def run(args: argparse.Namespace):
                        distributed_fraction=args.distributed,
                        zipf_theta=args.zipf),
             partitioner, SplitRandom(args.seed + 1))
+    kill_at = getattr(args, "kill_sequencer", None)
+    if kill_at is not None:
+        from repro.harness.faults import FaultPlan
+        plan = FaultPlan(cluster)
+        controller = cluster.controller
+        if controller is not None and controller.chain:
+            plan.kill_chain_node_at(kill_at, 0)
+        else:
+            plan.kill_sequencer_at(kill_at)
     result = run_experiment(cluster, workload, ExperimentConfig(
         n_clients=args.clients, warmup=args.warmup,
         duration=args.duration, count_filter=count_filter,

@@ -59,6 +59,11 @@ class ClusterConfig:
     net: NetConfig = field(default_factory=NetConfig)
     sequencer_profile: str = "middlebox"
     n_sequencers: int = 2              # primary + standbys (Eris)
+    #: Chain-replicated sequencer (Eris only): length of the chain of
+    #: ``ChainSequencerNode`` elements fronting the system. 0 keeps the
+    #: paper's single soft-state sequencer; 2–3 enables splice repair
+    #: (``n_sequencers`` then counts the epoch-fallback standbys).
+    sequencer_chain: int = 0
     server_service_time: float = 2e-6  # CPU per received message
     execution_cost: float = 0.5e-6     # CPU per executed transaction
     client_retry_timeout: float = 2e-3
@@ -84,6 +89,14 @@ class ClusterConfig:
         if self.sequencer_profile not in _PROFILES:
             raise ConfigurationError(
                 f"unknown sequencer profile {self.sequencer_profile!r}")
+        if self.sequencer_chain:
+            if self.system != "eris":
+                raise ConfigurationError(
+                    "sequencer_chain requires system='eris'")
+            if not 2 <= self.sequencer_chain <= 3:
+                raise ConfigurationError(
+                    f"sequencer_chain must be 2 or 3, "
+                    f"got {self.sequencer_chain}")
 
 
 class SystemClient:
@@ -198,6 +211,13 @@ class Cluster:
     def crash_replica(self, shard: int, index: int) -> None:
         self.replicas[shard][index].crash()
 
+    def crash_chain_node(self, index: int) -> None:
+        """Crash the ``index``-th element of the *current* sequencer
+        chain (0 = head, -1 = tail)."""
+        if self.controller is None or not self.controller.chain:
+            raise ConfigurationError("no sequencer chain in this deployment")
+        self.network.endpoint(self.controller.chain[index]).crash()
+
 
 def build_cluster(config: ClusterConfig, registry: ProcedureRegistry,
                   partitioner: Partitioner,
@@ -233,9 +253,18 @@ def _build_eris(cluster: Cluster, oum: bool = False) -> None:
         cluster.network.groups.define(shard, addrs)
     profile = _PROFILES[config.sequencer_profile]()
     sequencer_cls = OUMSequencer if oum else MultiSequencer
+    chain_addrs: list[str] = []
+    if not oum and config.sequencer_chain:
+        from repro.net.chainseq import ChainSequencerNode
+        for i in range(config.sequencer_chain):
+            node = ChainSequencerNode(f"chain{i}", cluster.network, profile)
+            chain_addrs.append(node.address)
+            cluster.sequencers.append(node)
+    standbys: list[MultiSequencer] = []
     for i in range(max(1, config.n_sequencers)):
-        cluster.sequencers.append(
-            sequencer_cls(f"seq{i}", cluster.network, profile))
+        standby = sequencer_cls(f"seq{i}", cluster.network, profile)
+        standbys.append(standby)
+        cluster.sequencers.append(standby)
     cluster.fc = FailureCoordinator("fc", cluster.network,
                                     shards=shard_addrs)
     cluster.fc.msg_service_time = config.server_service_time
@@ -244,8 +273,9 @@ def _build_eris(cluster: Cluster, oum: bool = False) -> None:
     else:
         cluster.controller = SDNController(
             "controller", cluster.network,
-            sequencers=[s.address for s in cluster.sequencers],
-            config=config.controller)
+            sequencers=[s.address for s in standbys],
+            config=config.controller,
+            chain=chain_addrs or None)
         cluster.controller.start()
     eris_config = config.eris
     eris_config.execution_cost = config.execution_cost

@@ -8,6 +8,8 @@ This package provides the paper's Section 5 network substrate:
 - :mod:`repro.net.groupcast` — group membership (§5.2).
 - :mod:`repro.net.sequencer` — the multi-stamping sequencer (§5.3/5.4).
 - :mod:`repro.net.oum` — single-counter global sequencer (§5.1 strawman).
+- :mod:`repro.net.chainseq` — chain-replicated sequencer with splice
+  repair (extension; NetChain/Harmonia-style).
 - :mod:`repro.net.controller` — SDN controller and sequencer failover.
 - :mod:`repro.net.libsequencer` — end-host sequence tracking that turns
   raw packets into DELIVER / DROP-NOTIFICATION / NEW-EPOCH upcalls.
@@ -19,6 +21,8 @@ from repro.net.message import GroupcastHeader, MultiStamp, Packet
 from repro.net.network import NetConfig, Network
 from repro.net.sequencer import MultiSequencer, SequencerProfile
 from repro.net.oum import OUMSequencer
+from repro.net.chainseq import ChainForward, ChainInstall, ChainInstallAck, \
+    ChainSequencerNode, ChainState, ChainStateRequest
 from repro.net.controller import SDNController
 from repro.net.libsequencer import MultiSequencedChannel, Upcall, UpcallKind
 from repro.net.switch_resources import SwitchModel, validate_deployment
@@ -34,6 +38,12 @@ __all__ = [
     "MultiSequencer",
     "SequencerProfile",
     "OUMSequencer",
+    "ChainSequencerNode",
+    "ChainForward",
+    "ChainStateRequest",
+    "ChainState",
+    "ChainInstall",
+    "ChainInstallAck",
     "SDNController",
     "MultiSequencedChannel",
     "Upcall",

@@ -42,16 +42,6 @@ class OUMSequencer(MultiSequencer):
                 queue_delay=self._queue_delay(packet))
         return packet
 
-    def _process(self, packet: Packet) -> None:
-        if self.crashed:
-            return
-        self.messages_processed += 1
-        if packet.groupcast is None:
-            if packet.dst == self.address:
-                self.handle(packet.src, packet.payload, packet)
-            elif packet.dst is not None:
-                self.network.send(packet)
-            return
-        stamped = self.stamp(packet)
+    def _emit(self, stamped: Packet) -> None:
         # Total global sequencing: every server receives every message.
         self.network.fan_out(stamped, self.network.groups.all_members())

@@ -97,7 +97,17 @@ class MultiSequencer(Node):
                 # Not groupcast traffic; a real switch just forwards.
                 self.network.send(packet)
             return
-        stamped = self.stamp(packet)
+        self._process_groupcast(packet)
+
+    def _process_groupcast(self, packet: Packet) -> None:
+        """Stamp one sequenced groupcast packet and emit it. Split from
+        :meth:`_process` so variants (OUM flooding, chain replication)
+        can change where stamped packets go without re-implementing the
+        control-plane dispatch above."""
+        self._emit(self.stamp(packet))
+
+    def _emit(self, stamped: Packet) -> None:
+        """Release a stamped packet to its destination groups."""
         network = self.network
         fan_out = network.fan_out
         members = network.groups.members

@@ -253,7 +253,7 @@ def _ensure_registry() -> None:
     from repro.core import log as core_log
     from repro.core import messages as core_messages
     from repro.core import transaction
-    from repro.net import controller, message
+    from repro.net import chainseq, controller, message
     from repro.replication import log as replication_log
     from repro.replication import vr
 
@@ -293,6 +293,12 @@ def _ensure_registry() -> None:
         # control plane
         controller.SequencerPing,
         controller.SequencerPong,
+        # chain-replicated sequencer
+        chainseq.ChainForward,
+        chainseq.ChainStateRequest,
+        chainseq.ChainState,
+        chainseq.ChainInstall,
+        chainseq.ChainInstallAck,
         # Viewstamped Replication
         vr.VRPrepare,
         vr.VRPrepareOK,

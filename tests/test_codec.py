@@ -252,3 +252,66 @@ def test_unregistered_dataclass_encode_raises_codec_error():
 
     with pytest.raises(CodecError, match="unregistered"):
         encode_message(NotOnTheWire(x=1))
+
+
+# -- chain-replicated sequencer messages ----------------------------------
+
+def test_chain_forward_roundtrips_with_payload_and_without():
+    from repro.net.chainseq import ChainForward
+
+    loaded = ChainForward(version=3, epoch=2, stamps=((0, 7), (1, 9)),
+                          origin="client-4", payload=_SAMPLE_TXN,
+                          groups=(0, 1), trace_id=88)
+    assert decode_message(encode_message(loaded)) == loaded
+
+    bare = ChainForward(version=1, epoch=1, stamps=((2, 1),),
+                        origin="client-1", payload=None, groups=(2,))
+    decoded = decode_message(encode_message(bare))
+    assert decoded == bare and decoded.trace_id is None
+
+
+def test_chain_repair_control_plane_roundtrips():
+    from repro.net.chainseq import (ChainInstall, ChainInstallAck,
+                                    ChainState, ChainStateRequest)
+
+    install = ChainInstall(version=4, epoch=2,
+                           members=("chain1", "chain2"),
+                           counters={0: 17, 1: 3, 5: 0})
+    decoded = decode_message(encode_message(install))
+    assert decoded == install
+    assert decoded.counters == {0: 17, 1: 3, 5: 0}   # int keys survive
+
+    for msg in (ChainStateRequest(nonce=9),
+                ChainState(nonce=9, version=4, epoch=2, counters={0: 17}),
+                ChainInstallAck(version=4, sender="chain2")):
+        assert decode_message(encode_message(msg)) == msg
+
+
+def test_chain_messages_are_registered():
+    names = set(registered_message_types())
+    for required in ("ChainForward", "ChainStateRequest", "ChainState",
+                     "ChainInstall", "ChainInstallAck"):
+        assert required in names
+
+
+def test_chain_forward_wrong_field_count_raises_codec_error():
+    from repro.net.chainseq import ChainForward
+
+    good = encode_message(ChainForward(version=1, epoch=1, stamps=(),
+                                       origin="c", payload=None,
+                                       groups=(), trace_id=5))
+    bad = good.replace(b",5]]", b"]]")
+    with pytest.raises(CodecError, match="expected 7 fields"):
+        decode_message(bad)
+
+
+def test_chain_install_malformed_counters_raises_codec_error():
+    from repro.net.chainseq import ChainInstall
+
+    good = encode_message(ChainInstall(version=1, epoch=1,
+                                       members=("a",), counters={0: 1}))
+    # Break the dict tag's [k, v] pair shape.
+    bad = good.replace(b'["d",[0,1]]', b'["d",[0,1,2]]')
+    assert bad != good
+    with pytest.raises(CodecError, match="malformed dict entry"):
+        decode_message(bad)

@@ -43,14 +43,27 @@ PRE_OPTIMIZATION_COMMITTED = 1133
 PRE_OPTIMIZATION_PACKETS_SENT = 6172
 PRE_OPTIMIZATION_THROUGHPUT = 377666.6666666667
 
+# Same configuration fronted by a 3-node chain-replicated sequencer
+# (chain forwards + tail release change the event stream, so the chain
+# has its own pinned digest). Captured at chain introduction; the chain
+# must stay deterministic and codec-clean from here on.
+CHAIN_DIGEST = \
+    "cd132a76585324f66473d490261cdda84ece58cafb182c666d547ac0c192481f"
+CHAIN_FIRED = 14420
+CHAIN_COMMITTED = 595
+CHAIN_PACKETS_SENT = 4804
+CHAIN_THROUGHPUT = 198333.33333333334
 
-def run_small_eris(tracing: bool = False, paranoid_codec: bool = False):
+
+def run_small_eris(tracing: bool = False, paranoid_codec: bool = False,
+                   sequencer_chain: int = 0):
     """One small fig6-style Eris measurement with an event fingerprint."""
     registry = ProcedureRegistry()
     register_ycsb_procedures(registry)
     partitioner = Partitioner(2)
     cluster = build_cluster(
         ClusterConfig(system="eris", n_shards=2, seed=42, tracing=tracing,
+                      sequencer_chain=sequencer_chain,
                       net=NetConfig(paranoid_codec=paranoid_codec)),
         registry, partitioner,
         loader=lambda stores, p: load_ycsb(stores, p, 500))
@@ -119,6 +132,42 @@ def test_paranoid_codec_mode_is_bit_identical():
     assert run["committed"] == PRE_OPTIMIZATION_COMMITTED
     assert run["packets_sent"] == PRE_OPTIMIZATION_PACKETS_SENT
     assert run["throughput"] == pytest.approx(PRE_OPTIMIZATION_THROUGHPUT)
+
+
+def test_chain_off_leaves_pinned_sequence_untouched():
+    """``sequencer_chain=0`` must be byte-identical to the paper's
+    single-sequencer path: the chain hooks ride behind the existing
+    abstraction, so with the chain off nothing about the event stream
+    changes — the original digest still holds (also asserted by the
+    tests above, restated here as the chain PR's explicit guarantee)."""
+    run = run_small_eris(sequencer_chain=0)
+    assert run["digest"] == PRE_OPTIMIZATION_DIGEST
+    assert run["throughput"] == pytest.approx(PRE_OPTIMIZATION_THROUGHPUT)
+
+
+def test_chain_mode_same_seed_runs_are_bit_identical():
+    first = run_small_eris(sequencer_chain=3)
+    second = run_small_eris(sequencer_chain=3)
+    assert first == second
+
+
+def test_chain_mode_matches_pinned_sequence():
+    run = run_small_eris(sequencer_chain=3)
+    assert run["digest"] == CHAIN_DIGEST
+    assert run["fired"] == CHAIN_FIRED
+    assert run["committed"] == CHAIN_COMMITTED
+    assert run["packets_sent"] == CHAIN_PACKETS_SENT
+    assert run["throughput"] == pytest.approx(CHAIN_THROUGHPUT)
+
+
+def test_chain_mode_paranoid_codec_is_bit_identical():
+    """Every chain message (ChainForward and the repair control plane)
+    survives a wire round-trip per delivery without perturbing the
+    pinned chain event stream."""
+    run = run_small_eris(sequencer_chain=3, paranoid_codec=True)
+    assert run["digest"] == CHAIN_DIGEST
+    assert run["fired"] == CHAIN_FIRED
+    assert run["committed"] == CHAIN_COMMITTED
 
 
 # -- boundedness under churn ----------------------------------------------
