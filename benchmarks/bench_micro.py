@@ -117,6 +117,99 @@ def bench_network_fanout(n_rounds: int, n_receivers: int = 3) -> float:
     return (n_rounds * n_receivers) / (time.perf_counter() - t0)
 
 
+def _codec_corpus() -> list:
+    """Representative protocol packets: a sequenced txn request, a
+    single TxnReply, a coalesced reply batch, and a SyncLog segment —
+    the frames that dominate the wire in normal-case operation."""
+    from repro.core.log import LogEntry, SlotId, TxnRecord
+    from repro.core.messages import (
+        IndependentTxnRequest,
+        SyncLog,
+        TxnReply,
+        TxnReplyBatch,
+    )
+    from repro.core.transaction import IndependentTransaction, TxnId
+    from repro.net.message import MultiStamp
+
+    txn = IndependentTransaction(
+        txn_id=TxnId(client="client-7", seq=42),
+        proc="rmw", args={"keys": ("k101", "k202"), "delta": 1},
+        participants=(0, 1), read_keys=frozenset({"k101"}),
+        write_keys=frozenset({"k202"}))
+    stamp = MultiStamp(epoch=1, stamps=((0, 117), (1, 93)))
+    req = Packet(src="client-7", dst="eris-r0.0",
+                 payload=IndependentTxnRequest(txn),
+                 groupcast=GroupcastHeader((0, 1)), multistamp=stamp,
+                 sequenced=True, trace_id=12345)
+    reply = TxnReply(txn_id=txn.txn_id, txn_index=117, view_num=0,
+                     epoch_num=1, shard=0, replica_index=2, is_dl=True,
+                     committed=True, result={"k101": 7})
+    rep = Packet(src="eris-r0.2", dst="client-7", payload=reply)
+    batch = TxnReplyBatch(replies=tuple(
+        TxnReply(txn_id=TxnId(client="client-7", seq=40 + i),
+                 txn_index=110 + i, view_num=0, epoch_num=1, shard=0,
+                 replica_index=2, is_dl=True, committed=True,
+                 result={"k101": i})
+        for i in range(8)))
+    repbatch = Packet(src="eris-r0.2", dst="client-7", payload=batch)
+    entries = tuple(
+        LogEntry(index=i, slot=SlotId(shard=0, epoch=1, seq=100 + i),
+                 kind="txn",
+                 record=TxnRecord(txn=txn, multistamp=stamp))
+        for i in range(16))
+    synclog = Packet(src="eris-r0.0", dst="eris-r0.1",
+                     payload=SyncLog(shard=0, view_num=0, epoch_num=1,
+                                     from_index=100, entries=entries,
+                                     commit_upto=99))
+    return [("req", req), ("rep", rep), ("repbatch", repbatch),
+            ("synclog", synclog)]
+
+
+def bench_codec_roundtrip(n_reps: int) -> tuple[float, float]:
+    """Encode+decode rate (packets/s) for EWC1 and EWC2 on the corpus.
+
+    The two wires are measured *interleaved* per repetition with
+    best-of-``n_reps`` slices per (packet, wire): load drift then hits
+    both formats equally instead of biasing whichever ran second, which
+    matters because the gating quantity is their ratio. The aggregate
+    is time-weighted across the corpus (sum of per-packet best times),
+    i.e. the rate of round-tripping the whole mix."""
+    from repro.runtime.codec import decode_packet, encode_packet
+    corpus = _codec_corpus()
+    inner = 200
+    best: dict[tuple[str, str], float] = {}
+    for _ in range(n_reps):
+        for name, packet in corpus:
+            for wire in ("ewc1", "ewc2"):
+                t0 = time.perf_counter()
+                for _ in range(inner):
+                    decode_packet(encode_packet(packet, wire))
+                dt = time.perf_counter() - t0
+                key = (name, wire)
+                if key not in best or dt < best[key]:
+                    best[key] = dt
+    n = inner * len(corpus)
+    total1 = sum(dt for (_, wire), dt in best.items() if wire == "ewc1")
+    total2 = sum(dt for (_, wire), dt in best.items() if wire == "ewc2")
+    return n / total1, n / total2
+
+
+def bench_datagram_batch(n_rounds: int, frames_per: int = 16) -> float:
+    """EWCB container pack+unpack rate (frames/s): encode a burst of
+    reply frames once, then round-trip the container."""
+    from repro.runtime.codec import (
+        decode_datagram,
+        encode_datagram,
+        encode_packet,
+    )
+    rep = next(p for name, p in _codec_corpus() if name == "rep")
+    frames = [encode_packet(rep, "ewc2") for _ in range(frames_per)]
+    t0 = time.perf_counter()
+    for _ in range(n_rounds):
+        decode_datagram(encode_datagram(frames))
+    return (n_rounds * frames_per) / (time.perf_counter() - t0)
+
+
 def bench_fig6_e2e() -> dict:
     """The Fig 6 Eris saturation point; simulated txn/s is deterministic."""
     from bench_common import YCSBBench, run_ycsb
@@ -143,6 +236,8 @@ def measure(quick: bool) -> tuple[dict, dict]:
     dispatch = bench_event_loop_dispatch(int(300_000 * scale))
     restarts, heap_after = bench_timer_restart(1000, int(200 * scale))
     fanout = bench_network_fanout(int(100_000 * scale))
+    codec1, codec2 = bench_codec_roundtrip(3 if quick else 8)
+    datagram = bench_datagram_batch(int(20_000 * scale))
     fig6 = bench_fig6_e2e()
     micro = {
         "schema": 1,
@@ -153,6 +248,14 @@ def measure(quick: bool) -> tuple[dict, dict]:
             "timer_restart": {"value": round(restarts), "unit": "restarts/s",
                               "heap_entries_after": heap_after},
             "network_fanout": {"value": round(fanout), "unit": "packets/s"},
+            "codec_ewc1_roundtrip": {"value": round(codec1),
+                                     "unit": "packets/s"},
+            "codec_ewc2_roundtrip": {"value": round(codec2),
+                                     "unit": "packets/s",
+                                     "speedup_vs_ewc1":
+                                         round(codec2 / codec1, 2)},
+            "datagram_batch16": {"value": round(datagram),
+                                 "unit": "frames/s"},
         },
         # Pre-optimisation rates measured with this same harness on the
         # same machine that pinned this file (perf-trajectory record;
@@ -190,6 +293,28 @@ def check(micro: dict, fig6: dict) -> list[str]:
             failures.append(
                 f"{name}: {current:,} < {floor:,.0f} "
                 f"(>{REGRESSION_TOLERANCE:.0%} below baseline {baseline:,})")
+
+    # EWC2 must beat EWC1 by >= 2x on the message corpus. The pinned
+    # ratio is checked exactly (it was measured once, on the pinning
+    # machine, with the interleaved harness); the live re-measure gets
+    # the usual machine-noise tolerance below that line.
+    base_ewc2 = base_micro["benchmarks"].get("codec_ewc2_roundtrip")
+    if base_ewc2 is not None:
+        pinned_ratio = base_ewc2.get("speedup_vs_ewc1", 0.0)
+        cur_ratio = micro["benchmarks"]["codec_ewc2_roundtrip"][
+            "speedup_vs_ewc1"]
+        ratio_floor = 2.0 * (1.0 - REGRESSION_TOLERANCE)
+        ok = pinned_ratio >= 2.0 and cur_ratio >= ratio_floor
+        print(f"  {'ewc2_speedup':22s} {cur_ratio:>11,.2f}x vs pinned "
+              f"{pinned_ratio:>11,.2f}x  [{'ok' if ok else 'REGRESSION'}]")
+        if pinned_ratio < 2.0:
+            failures.append(
+                f"pinned EWC2 speedup {pinned_ratio}x < 2.0x — re-pin "
+                "after fixing the codec, not the baseline")
+        if cur_ratio < ratio_floor:
+            failures.append(
+                f"measured EWC2 speedup {cur_ratio}x < {ratio_floor}x "
+                "(2x requirement minus machine tolerance)")
 
     base_tp = base_fig6["throughput_txn_s"]
     cur_tp = fig6["throughput_txn_s"]

@@ -48,6 +48,7 @@ from repro.core.messages import (
     TxnFound,
     TxnRecord,
     TxnReply,
+    TxnReplyBatch,
     TxnRequestMsg,
     ViewChange,
 )
@@ -76,6 +77,11 @@ class ErisConfig:
     general_abort_timeout: float = 100e-3
     execution_cost: float = 0.5e-6   # CPU charged per executed transaction
     oum_mode: bool = False           # Eris-OUM strawman (Fig 11)
+    #: Coalesce up to this many TxnReply messages per client into one
+    #: TxnReplyBatch, flushed on a zero-delay wakeup. 1 (the default)
+    #: sends each reply immediately — the paper's per-txn reply path,
+    #: pinned by the determinism digests.
+    reply_coalesce: int = 1
 
 
 def _slot_fields(slot: SlotId) -> list:
@@ -164,6 +170,12 @@ class ErisReplica(Node):
         self.txns_processed = 0
         self.drops_recovered_from_peer = 0
         self.drops_escalated_to_fc = 0
+
+        # Reply coalescing (reply_coalesce > 1): per-client buffers of
+        # (TxnReply, committed) drained by one zero-delay wakeup.
+        self._reply_buffer: dict[Address, list[TxnReply]] = {}
+        self._reply_flush_armed = False
+        self.reply_batches_sent = 0
 
     # -- observability ----------------------------------------------------
     def _trace_append(self, entry: LogEntry) -> None:
@@ -337,7 +349,7 @@ class ErisReplica(Node):
 
     def _reply(self, txn: IndependentTransaction, index: int,
                committed: bool, result: Any) -> None:
-        packet = self.send(txn.txn_id.client, TxnReply(
+        reply = TxnReply(
             txn_id=txn.txn_id,
             txn_index=index,
             view_num=self.view_num,
@@ -347,15 +359,44 @@ class ErisReplica(Node):
             is_dl=self.is_dl,
             committed=committed,
             result=result,
-        ))
+        )
+        client = txn.txn_id.client
+        if self.config.reply_coalesce > 1:
+            self._reply_buffer.setdefault(client, []).append(reply)
+            if not self._reply_flush_armed:
+                self._reply_flush_armed = True
+                self.call_later(0.0, self._flush_replies)
+            return
+        self._send_replies(client, [reply])
+
+    def _flush_replies(self) -> None:
+        """Drain the per-client reply buffers: one TxnReplyBatch per
+        client per wakeup (capped at reply_coalesce replies each)."""
+        self._reply_flush_armed = False
+        buffered, self._reply_buffer = self._reply_buffer, {}
+        if self.crashed:
+            return
+        cap = self.config.reply_coalesce
+        for client, replies in buffered.items():
+            for start in range(0, len(replies), cap):
+                self._send_replies(client, replies[start:start + cap])
+
+    def _send_replies(self, client: Address,
+                      replies: list[TxnReply]) -> None:
+        if len(replies) == 1:
+            packet = self.send(client, replies[0])
+        else:
+            packet = self.send(client, TxnReplyBatch(tuple(replies)))
+            self.reply_batches_sent += 1
         tracer = self.tracer
         if tracer is not None and packet is not None:
-            # The reply's causal id lets the span builder pair each
-            # per-replica reply with its delivery at the client.
-            tracer.record("reply", self.address, cause=packet.trace_id,
-                          txn=txn.txn_id.label(), shard=self.shard,
-                          replica=self.replica_index, is_dl=self.is_dl,
-                          committed=committed)
+            for reply in replies:
+                # The reply's causal id lets the span builder pair each
+                # per-replica reply with its delivery at the client.
+                tracer.record("reply", self.address, cause=packet.trace_id,
+                              txn=reply.txn_id.label(), shard=self.shard,
+                              replica=self.replica_index, is_dl=self.is_dl,
+                              committed=reply.committed)
 
     # -- reconnaissance queries (§7.1) ----------------------------------------
     def on_ReconRead(self, src: Address, msg: ReconRead,

@@ -80,6 +80,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="kill the active sequencing element (chain "
                              "head, or the routed sequencer) at simulated "
                              "time T")
+    parser.add_argument("--wire", choices=("ewc1", "ewc2"), default="ewc1",
+                        help="wire codec for serialized paths (the sim "
+                             "only serializes under paranoid codec)")
+    parser.add_argument("--seq-batch", type=int, default=1, metavar="N",
+                        help="stamp up to N queued groupcasts per "
+                             "sequencer wakeup (also pipelines N chain "
+                             "forwards per hop with --chain)")
     parser.add_argument("--warmup", type=float, default=4e-3,
                         help="simulated seconds before measurement")
     parser.add_argument("--duration", type=float, default=10e-3,
@@ -139,6 +146,15 @@ def build_udpsmoke_parser() -> argparse.ArgumentParser:
     parser.add_argument("--distributed", type=float, default=0.5)
     parser.add_argument("--keys", type=int, default=200)
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--chain", type=int, default=0, metavar="N",
+                        help="front Eris with an N-node chain-replicated "
+                             "sequencer (N=2..3; 0 = single sequencer)")
+    parser.add_argument("--wire", choices=("ewc1", "ewc2"), default="ewc1",
+                        help="frame codec on the loopback wire")
+    parser.add_argument("--batch", type=int, default=1, metavar="N",
+                        help="enable the batching stack at depth N: "
+                             "sequencer stamping, chain pipelining, "
+                             "reply coalescing, EWCB datagram packing")
     return parser
 
 
@@ -154,7 +170,8 @@ def udpsmoke_main(argv: Sequence[str]) -> int:
             n_clients=args.clients, min_commits=args.min_commits,
             timeout=args.timeout, workload=args.workload,
             distributed_fraction=args.distributed, n_keys=args.keys,
-            seed=args.seed)
+            seed=args.seed, chain=args.chain, wire=args.wire,
+            batch=args.batch)
     except (ExperimentError, InvariantViolation) as exc:
         print(f"udp smoke: FAILED\n  {exc}", file=sys.stderr)
         return 1
@@ -162,12 +179,16 @@ def udpsmoke_main(argv: Sequence[str]) -> int:
         ["stat", "value"],
         [["backend", "asyncio-udp (loopback)"],
          ["shards x replicas", f"{args.shards} x {args.replicas}"],
+         ["wire / batch", f"{args.wire} / {args.batch}"],
+         ["chain", args.chain or "off"],
          ["committed", result.committed],
          ["aborted", result.aborted],
          ["retries", result.retries],
          ["wall seconds", f"{result.wall_seconds:.3f}"],
          ["packets sent", result.packets_sent],
          ["packets delivered", result.packets_delivered],
+         ["frames / datagrams", f"{result.frames_sent} / "
+                                f"{result.datagrams_sent}"],
          ["invariant checks", "OK"]],
         title="udp smoke"))
     return 0
@@ -177,7 +198,10 @@ def run(args: argparse.Namespace):
     config = ClusterConfig(system=args.system, n_shards=args.shards,
                            n_replicas=args.replicas, seed=args.seed,
                            sequencer_chain=getattr(args, "chain", 0),
-                           net=NetConfig(drop_rate=args.drop_rate))
+                           sequencer_batch=getattr(args, "seq_batch", 1),
+                           chain_pipeline=getattr(args, "seq_batch", 1),
+                           net=NetConfig(drop_rate=args.drop_rate,
+                                         wire=getattr(args, "wire", "ewc1")))
     registry = ProcedureRegistry()
     count_filter = None
     if args.workload == "tpcc":

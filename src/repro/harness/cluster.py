@@ -70,6 +70,15 @@ class ClusterConfig:
     #: Ablation: one-phase commit for single-shard Lock-Store txns
     #: (the paper's Lock-Store always runs the full 2PC exchange).
     lockstore_one_phase: bool = False
+    #: Stamp up to this many queued sequenced groupcasts per sequencer
+    #: wakeup (1 = the paper's one-at-a-time stamping; pinned default).
+    sequencer_batch: int = 1
+    #: Chain-replicated sequencer only: pipeline up to this many counter
+    #: writes per hop in one ChainForwardBatch (1 = one msg per write).
+    chain_pipeline: int = 1
+    #: UDP backend only: pack up to this many frames per datagram in an
+    #: EWCB container (1 = one packet per datagram).
+    udp_batch_frames: int = 1
     #: Attach a causal tracer (``repro.obs``) at build time. Off by
     #: default: benchmarks pay only a per-packet None check.
     tracing: bool = False
@@ -97,6 +106,15 @@ class ClusterConfig:
                 raise ConfigurationError(
                     f"sequencer_chain must be 2 or 3, "
                     f"got {self.sequencer_chain}")
+        if self.sequencer_batch < 1:
+            raise ConfigurationError(
+                f"sequencer_batch must be >= 1: {self.sequencer_batch}")
+        if self.chain_pipeline < 1:
+            raise ConfigurationError(
+                f"chain_pipeline must be >= 1: {self.chain_pipeline}")
+        if self.udp_batch_frames < 1:
+            raise ConfigurationError(
+                f"udp_batch_frames must be >= 1: {self.udp_batch_frames}")
 
 
 class SystemClient:
@@ -122,7 +140,12 @@ class Cluster:
         self.partitioner = partitioner
         if config.backend == "udp":
             from repro.runtime.asyncio_udp import AsyncioUdpRuntime
-            self.runtime = AsyncioUdpRuntime(seed=config.seed)
+            # The wire format is part of the fabric config (NetConfig):
+            # the sim uses it for the paranoid round-trip, the UDP
+            # backend for every frame that crosses loopback.
+            self.runtime = AsyncioUdpRuntime(
+                seed=config.seed, wire=config.net.wire,
+                batch_frames=config.udp_batch_frames)
         else:
             self.loop = EventLoop()
             self.rng = SplitRandom(config.seed)
@@ -257,12 +280,15 @@ def _build_eris(cluster: Cluster, oum: bool = False) -> None:
     if not oum and config.sequencer_chain:
         from repro.net.chainseq import ChainSequencerNode
         for i in range(config.sequencer_chain):
-            node = ChainSequencerNode(f"chain{i}", cluster.network, profile)
+            node = ChainSequencerNode(f"chain{i}", cluster.network, profile,
+                                      stamp_batch=config.sequencer_batch,
+                                      pipeline=config.chain_pipeline)
             chain_addrs.append(node.address)
             cluster.sequencers.append(node)
     standbys: list[MultiSequencer] = []
     for i in range(max(1, config.n_sequencers)):
-        standby = sequencer_cls(f"seq{i}", cluster.network, profile)
+        standby = sequencer_cls(f"seq{i}", cluster.network, profile,
+                                stamp_batch=config.sequencer_batch)
         standbys.append(standby)
         cluster.sequencers.append(standby)
     cluster.fc = FailureCoordinator("fc", cluster.network,

@@ -44,16 +44,28 @@ class SmokeResult:
     wall_seconds: float
     packets_sent: int
     packets_delivered: int
+    #: Encoded frames vs datagrams actually written: with EWCB batching
+    #: on, frames_sent > datagrams_sent measures the packing ratio.
+    frames_sent: int = 0
+    datagrams_sent: int = 0
     checks_passed: bool = True
     notes: list[str] = field(default_factory=list)
 
 
 def build_udp_cluster(n_shards: int = 2, n_replicas: int = 3,
-                      n_keys: int = 200, seed: int = 7) -> Cluster:
-    """An Eris cluster on the asyncio-UDP runtime, YCSB keys loaded."""
+                      n_keys: int = 200, seed: int = 7, chain: int = 0,
+                      wire: str = "ewc1", batch: int = 1) -> Cluster:
+    """An Eris cluster on the asyncio-UDP runtime, YCSB keys loaded.
+
+    ``wire`` selects the frame codec (ewc1/ewc2); ``batch > 1`` turns
+    on the whole batching stack at that depth — sequencer stamp
+    batching, chain forward pipelining, replica reply coalescing, and
+    EWCB datagram packing; ``chain`` fronts the system with an N-node
+    chain-replicated sequencer as in the simulator experiments."""
     registry = ProcedureRegistry()
     register_ycsb_procedures(registry)
     partitioner = Partitioner(n_shards)
+    from repro.net.network import NetConfig
     config = ClusterConfig(
         system="eris", backend="udp", n_shards=n_shards,
         n_replicas=n_replicas, seed=seed,
@@ -61,7 +73,11 @@ def build_udp_cluster(n_shards: int = 2, n_replicas: int = 3,
         # service-time model would only double-charge it.
         server_service_time=0.0, execution_cost=0.0,
         client_retry_timeout=100e-3,
-        eris=ErisConfig(**_UDP_ERIS),
+        sequencer_chain=chain,
+        net=NetConfig(wire=wire),
+        sequencer_batch=batch, chain_pipeline=batch,
+        udp_batch_frames=batch,
+        eris=ErisConfig(reply_coalesce=batch, **_UDP_ERIS),
         controller=ControllerConfig(**_UDP_CONTROLLER),
     )
     return build_cluster(config, registry, partitioner,
@@ -73,12 +89,14 @@ def run_udp_smoke(n_shards: int = 2, n_replicas: int = 3,
                   n_clients: int = 4, min_commits: int = 50,
                   timeout: float = 30.0, workload: str = "mrmw",
                   distributed_fraction: float = 0.5, n_keys: int = 200,
-                  seed: int = 7, check: bool = True) -> SmokeResult:
+                  seed: int = 7, check: bool = True, chain: int = 0,
+                  wire: str = "ewc1", batch: int = 1) -> SmokeResult:
     """Run the loopback smoke test; raises on invariant violations or
     if fewer than ``min_commits`` transactions commit within
     ``timeout`` real seconds."""
     cluster = build_udp_cluster(n_shards=n_shards, n_replicas=n_replicas,
-                                n_keys=n_keys, seed=seed)
+                                n_keys=n_keys, seed=seed, chain=chain,
+                                wire=wire, batch=batch)
     runtime = cluster.runtime
     workload_gen = YCSBWorkload(
         YCSBConfig(workload=workload, n_keys=n_keys,
@@ -120,6 +138,8 @@ def run_udp_smoke(n_shards: int = 2, n_replicas: int = 3,
         retries=stats["retries"], wall_seconds=wall,
         packets_sent=runtime.packets_sent,
         packets_delivered=runtime.packets_delivered,
+        frames_sent=runtime.frames_sent,
+        datagrams_sent=runtime.datagrams_sent,
     )
     try:
         if not reached:

@@ -58,12 +58,18 @@ class NetConfig:
     #: corrupting its peers. Costs ~one encode+decode per delivery;
     #: off by default.
     paranoid_codec: bool = False
+    #: Wire format used by the paranoid round-trip: ``"ewc1"`` (tagged
+    #: JSON, the reference) or ``"ewc2"`` (compact binary). Both must
+    #: preserve every payload bit-exactly, so digests are identical.
+    wire: str = "ewc1"
 
     def validate(self) -> None:
         if self.base_latency < 0 or self.jitter < 0:
             raise NetworkError("latencies must be non-negative")
         if not 0.0 <= self.drop_rate < 1.0:
             raise NetworkError(f"drop_rate must be in [0, 1): {self.drop_rate}")
+        from repro.runtime.codec import check_wire
+        check_wire(self.wire)
 
 
 class Network(Runtime):
@@ -93,6 +99,12 @@ class Network(Runtime):
         self.packets_sent = 0
         self.packets_dropped = 0
         self.packets_delivered = 0
+        # Per-recipient copies made by fan_out (sequencer emission).
+        # Kept separate from packets_sent deliberately: ``send`` counts
+        # protocol-level sends and fan-out copies are a fabric-level
+        # multiplication, so the two never double-count. Both backends
+        # follow this split (see AsyncioUdpRuntime.fanout_copies).
+        self.fanout_copies = 0
         # Addresses exempt from random drops (e.g. the FC control plane
         # when an experiment only wants to stress the data path).
         self.lossless: set[Address] = set()
@@ -162,6 +174,7 @@ class Network(Runtime):
                        fn=lambda: self.packets_dropped)
         registry.gauge("net", "packets_delivered",
                        fn=lambda: self.packets_delivered)
+        registry.gauge("net", "fanout_copies", fn=lambda: self.fanout_copies)
         registry.gauge("net", "endpoints", fn=lambda: len(self._endpoints))
 
     # -- routing control (exercised by the SDN controller) ---------------
@@ -192,6 +205,7 @@ class Network(Runtime):
         """Deliver per-recipient copies (used by sequencers)."""
         transmit = self._transmit
         copy_to = packet.copy_to
+        self.fanout_copies += len(destinations)
         for dst in destinations:
             transmit(copy_to(dst))
 
@@ -264,5 +278,5 @@ class Network(Runtime):
             # over a real transport. The codec preserves packet/trace
             # ids, so tracing and sequencer bookkeeping are unchanged.
             from repro.runtime.codec import decode_packet, encode_packet
-            packet = decode_packet(encode_packet(packet))
+            packet = decode_packet(encode_packet(packet, self.config.wire))
         node.deliver(packet)

@@ -20,11 +20,19 @@ in per-packet processing capacity and added latency.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 
 from repro.net.endpoint import Node
 from repro.net.message import MultiStamp, Packet
 from repro.net.network import Network
+
+#: Hard cap on the ingress-timestamp map. Entries are normally popped
+#: when the packet is stamped; packets that never reach ``stamp`` (in
+#: flight across a crash, rejected by a retired chain node) would
+#: otherwise accumulate forever. The bound evicts oldest-first, which
+#: only costs queue-delay attribution for pathologically old packets.
+INGRESS_BOUND = 4096
 
 
 @dataclass(frozen=True)
@@ -62,13 +70,23 @@ class MultiSequencer(Node):
     """A network element that multi-stamps groupcast packets."""
 
     def __init__(self, address: str, network: Network,
-                 profile: SequencerProfile | None = None, epoch: int = 1):
+                 profile: SequencerProfile | None = None, epoch: int = 1,
+                 stamp_batch: int = 1):
         super().__init__(address, network)
         self.profile = profile or SequencerProfile.in_switch()
         self.msg_service_time = self.profile.per_packet_service
         self.epoch = epoch
         self.counters: dict[int, int] = {}
         self.packets_stamped = 0
+        # Protocol-level batching: with stamp_batch > 1 arriving
+        # groupcasts queue and a zero-delay wakeup stamps up to
+        # stamp_batch of them back-to-back, amortizing the emit path.
+        # The default (1) stamps synchronously on delivery — the exact
+        # pre-batching event order, pinned by the determinism digests.
+        self.stamp_batch = stamp_batch
+        self.stamp_wakeups = 0
+        self._stamp_queue: deque[Packet] = deque()
+        self._stamp_wakeup_armed = False
         # Fabric-arrival timestamps for queue-delay attribution, keyed
         # by packet id. Populated only while a tracer is attached.
         self._ingress: dict[int, float] = {}
@@ -100,10 +118,38 @@ class MultiSequencer(Node):
         self._process_groupcast(packet)
 
     def _process_groupcast(self, packet: Packet) -> None:
-        """Stamp one sequenced groupcast packet and emit it. Split from
-        :meth:`_process` so variants (OUM flooding, chain replication)
-        can change where stamped packets go without re-implementing the
-        control-plane dispatch above."""
+        """Stamp one sequenced groupcast packet and emit it — directly,
+        or via the batching queue when ``stamp_batch`` > 1."""
+        if self.stamp_batch <= 1:
+            self._stamp_one(packet)
+            return
+        self._stamp_queue.append(packet)
+        if not self._stamp_wakeup_armed:
+            self._stamp_wakeup_armed = True
+            self.call_later(0.0, self._stamp_wakeup)
+
+    def _stamp_wakeup(self) -> None:
+        """Drain up to ``stamp_batch`` queued groupcasts in one wakeup;
+        re-arm if a burst left more behind."""
+        self._stamp_wakeup_armed = False
+        if self.crashed:
+            self._stamp_queue.clear()
+            return
+        self.stamp_wakeups += 1
+        queue = self._stamp_queue
+        budget = self.stamp_batch
+        while queue and budget:
+            self._stamp_one(queue.popleft())
+            budget -= 1
+        if queue and not self._stamp_wakeup_armed:
+            self._stamp_wakeup_armed = True
+            self.call_later(0.0, self._stamp_wakeup)
+
+    def _stamp_one(self, packet: Packet) -> None:
+        """Stamp one groupcast and emit it. Split out so variants (OUM
+        flooding, chain replication) can change where stamped packets
+        go — and keep their stamp-time admission checks — without
+        re-implementing the dispatch or batching above."""
         self._emit(self.stamp(packet))
 
     def _emit(self, stamped: Packet) -> None:
@@ -148,15 +194,28 @@ class MultiSequencer(Node):
         registry.gauge(self.address, "epoch", fn=lambda: self.epoch)
         registry.gauge(self.address, "groups_stamped",
                        fn=lambda: len(self.counters))
+        registry.gauge(self.address, "stamp_wakeups",
+                       fn=lambda: self.stamp_wakeups)
 
     def service_time_for(self, packet: Packet) -> float:
         return self.profile.per_packet_service
+
+    def crash(self) -> None:
+        super().crash()
+        # Packets recorded at deliver time but still in flight toward
+        # stamp (latency timers, the batching queue) will never be
+        # popped by _queue_delay — drop their bookkeeping with the node.
+        self._ingress.clear()
+        self._stamp_queue.clear()
 
     def deliver(self, packet: Packet) -> None:
         # Charge the profile's traversal latency on top of queueing.
         if self.crashed:
             return
         if self.tracer is not None and packet.groupcast is not None:
-            self._ingress[packet.packet_id] = self.now
+            ingress = self._ingress
+            while len(ingress) >= INGRESS_BOUND:
+                ingress.pop(next(iter(ingress)))
+            ingress[packet.packet_id] = self.now
         self.call_later(self.profile.added_latency,
                         super().deliver, packet)

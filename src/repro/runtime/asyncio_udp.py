@@ -27,6 +27,16 @@ The runtime is single-process and single-threaded: drive it with
 :meth:`AsyncioUdpRuntime.run_for` / :meth:`run_until` from ordinary
 synchronous harness code. Protocol callbacks run inside the asyncio
 loop exactly as they run inside the simulated event loop.
+
+Two performance knobs, both off by default:
+
+- ``wire="ewc2"`` serializes frames with the compact binary format
+  instead of the tagged-JSON reference codec (same registry, same
+  message set; receivers auto-detect by magic).
+- ``batch_frames=N`` packs up to N frames per datagram in a
+  length-prefixed EWCB container, flushed once per event-loop
+  iteration, so a sequencer wakeup's burst of stamped copies (or a
+  replica's coalesced replies) shares syscalls and headers.
 """
 
 from __future__ import annotations
@@ -38,9 +48,20 @@ from typing import Any, Callable, Optional
 from repro.errors import NetworkError
 from repro.net.groupcast import GroupMembership
 from repro.net.message import Address, Packet
-from repro.runtime.codec import CodecError, decode_packet, encode_packet
+from repro.runtime.codec import (
+    MAX_DATAGRAM_FRAMES,
+    CodecError,
+    check_wire,
+    decode_datagram,
+    encode_datagram,
+    encode_packet,
+)
 from repro.runtime.interface import Runtime, TimerHandle
 from repro.sim.randomness import SplitRandom
+
+#: Stay under the 65,507-byte UDP payload ceiling with headroom: a
+#: batch flushes early once its frames would exceed this many bytes.
+_MAX_DATAGRAM_BYTES = 60_000
 
 
 class _AsyncioTimer:
@@ -130,9 +151,18 @@ class AsyncioUdpRuntime(Runtime):
 
     backend = "asyncio-udp"
 
-    def __init__(self, seed: int = 0, host: str = "127.0.0.1"):
+    def __init__(self, seed: int = 0, host: str = "127.0.0.1",
+                 wire: str = "ewc1", batch_frames: int = 1):
         super().__init__()
         self.host = host
+        self.wire = check_wire(wire)
+        if not 1 <= batch_frames <= MAX_DATAGRAM_FRAMES:
+            raise NetworkError(
+                f"batch_frames must be in [1, {MAX_DATAGRAM_FRAMES}]: "
+                f"{batch_frames}")
+        #: Frames packed per datagram (1 = one packet per datagram, the
+        #: historical behaviour; >1 enables EWCB containers).
+        self.batch_frames = batch_frames
         self.aloop = asyncio.new_event_loop()
         self.base_rng = SplitRandom(seed)
         self.groups = GroupMembership()
@@ -143,12 +173,27 @@ class AsyncioUdpRuntime(Runtime):
         self._transports: dict[Address, asyncio.DatagramTransport] = {}
         self._egress: Optional[asyncio.DatagramTransport] = None
         self._pending_sends: list[tuple[Address, bytes]] = []
+        # Per-destination-port frame queues, drained by one call_soon
+        # callback per loop iteration so every frame queued within a
+        # callback burst shares a datagram (batch_frames > 1 only).
+        self._frame_queues: dict[int, list[bytes]] = {}
+        self._flush_scheduled = False
         self._started = False
         self._closed = False
         self.packets_sent = 0
         self.packets_delivered = 0
         self.packets_dropped = 0
         self.decode_errors = 0
+        #: Per-recipient copies made by fan_out. Mirrors the simulated
+        #: fabric's counter of the same name: ``packets_sent`` counts
+        #: protocol-level sends, fan-out multiplication is accounted
+        #: here — previously these copies were invisible to both.
+        self.fanout_copies = 0
+        #: Encoded packet frames handed to the transport (each frame is
+        #: one packet; with batching several frames share a datagram).
+        self.frames_sent = 0
+        #: Actual datagrams written to the socket.
+        self.datagrams_sent = 0
         self.tracer = None
 
     # -- clock / scheduling / randomness -----------------------------------
@@ -230,6 +275,7 @@ class AsyncioUdpRuntime(Runtime):
 
     def fan_out(self, packet: Packet,
                 destinations: tuple[Address, ...]) -> None:
+        self.fanout_copies += len(destinations)
         for dst in destinations:
             self._transmit(packet.copy_to(dst))
 
@@ -255,7 +301,7 @@ class AsyncioUdpRuntime(Runtime):
         if port is None:
             self._drop(packet, "dead-destination")
             return
-        data = encode_packet(packet)
+        data = encode_packet(packet, self.wire)
         if self.tracer is not None:
             self.tracer.packet_tx(packet)
         if self._egress is None:
@@ -263,23 +309,60 @@ class AsyncioUdpRuntime(Runtime):
             # sequencers at build time); flushed by start().
             self._pending_sends.append((packet.dst, data))
             return
-        self._egress.sendto(data, (self.host, port))
+        self.frames_sent += 1
+        if self.batch_frames <= 1:
+            self.datagrams_sent += 1
+            self._egress.sendto(data, (self.host, port))
+            return
+        # Batching: park the frame on the destination's queue and drain
+        # every queue in one call_soon callback, so all frames queued
+        # within the current callback burst (a sequencer wakeup, a
+        # chain pipeline flush, a reply coalesce) share datagrams.
+        self._frame_queues.setdefault(port, []).append(data)
+        if not self._flush_scheduled:
+            self._flush_scheduled = True
+            self.aloop.call_soon(self._flush_frames)
+
+    def _flush_frames(self) -> None:
+        self._flush_scheduled = False
+        queues, self._frame_queues = self._frame_queues, {}
+        egress = self._egress
+        if egress is None:  # stop() raced the callback
+            return
+        limit = self.batch_frames
+        for port, frames in queues.items():
+            addr = (self.host, port)
+            chunk: list[bytes] = []
+            chunk_bytes = 0
+            for frame in frames:
+                if chunk and (len(chunk) >= limit
+                              or chunk_bytes + len(frame) > _MAX_DATAGRAM_BYTES):
+                    self.datagrams_sent += 1
+                    egress.sendto(encode_datagram(chunk), addr)
+                    chunk = []
+                    chunk_bytes = 0
+                chunk.append(frame)
+                chunk_bytes += len(frame)
+            if chunk:
+                self.datagrams_sent += 1
+                egress.sendto(encode_datagram(chunk), addr)
 
     # -- receiving ---------------------------------------------------------
     def _on_datagram(self, address: Address, data: bytes) -> None:
         try:
-            packet = decode_packet(data)
+            packets = decode_datagram(data)
         except CodecError:
             self.decode_errors += 1
             return
         node = self._endpoints.get(address)
-        if node is None:
-            self._drop(packet, "dead-destination")
-            return
-        self.packets_delivered += 1
-        if self.tracer is not None:
-            self.tracer.packet_deliver(packet)
-        node.deliver(packet)
+        for packet in packets:
+            if node is None:
+                self._drop(packet, "dead-destination")
+                continue
+            self.packets_delivered += 1
+            if self.tracer is not None:
+                self.tracer.packet_deliver(packet)
+            node.deliver(packet)
 
     # -- lifecycle ---------------------------------------------------------
     async def _open_endpoint(self, address: Address) -> None:
@@ -310,6 +393,8 @@ class AsyncioUdpRuntime(Runtime):
         for dst, data in pending:
             port = self._ports.get(dst)
             if port is not None:
+                self.frames_sent += 1
+                self.datagrams_sent += 1
                 self._egress.sendto(data, (self.host, port))
 
     def stop(self) -> None:
@@ -317,16 +402,26 @@ class AsyncioUdpRuntime(Runtime):
         if self._closed:
             return
         self._closed = True
+        self._frame_queues.clear()
+        # A socket attached to a transport is OWNED by that transport:
+        # the transport closes it in its own (asynchronous) close
+        # callback. Hard-closing it here as well releases the fd while
+        # the transport still holds it — by the time its callback runs,
+        # the fd number may have been reused by a new socket, and the
+        # transport would then close someone else's descriptor. Only
+        # orphan sockets (bound in register() but never attached to a
+        # transport, e.g. when stop() runs before start()) are closed
+        # directly.
+        owned = set(self._transports)
         for transport in list(self._transports.values()):
             transport.close()
         self._transports.clear()
         if self._egress is not None:
             self._egress.close()
             self._egress = None
-        for sock in self._socks.values():
-            # Transports close their socket; close() is idempotent, so
-            # closing again covers sockets never attached to one.
-            sock.close()
+        for address, sock in self._socks.items():
+            if address not in owned:
+                sock.close()
         self._socks.clear()
         if not self.aloop.is_running():
             # Let asyncio finish the transport close callbacks.

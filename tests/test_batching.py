@@ -1,0 +1,245 @@
+"""Protocol-level batching: stamp batching, chain pipelining, reply
+coalescing — plus the sequencer ingress-bookkeeping regressions.
+
+All batching knobs default to off and are pinned so by the determinism
+digests (tests/test_determinism.py). This file turns them on and checks
+that (a) the amortization actually happens (wakeup/batch counters move)
+and (b) the protocol outcome is untouched: same stamps, same commits,
+§6.7 invariants green.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.replica import ErisConfig
+from repro.errors import ConfigurationError
+from repro.harness.checkers import run_all_checks
+from repro.harness.cluster import ClusterConfig, build_cluster
+from repro.harness.experiment import ExperimentConfig, run_experiment
+from repro.net.endpoint import Node
+from repro.net.message import GroupcastHeader, Packet
+from repro.net.network import NetConfig, Network
+from repro.net.sequencer import INGRESS_BOUND, MultiSequencer, \
+    SequencerProfile
+from repro.sim.event_loop import EventLoop
+from repro.sim.randomness import SplitRandom
+from repro.store import ProcedureRegistry
+from repro.workloads import Partitioner, register_ycsb_procedures
+from repro.workloads.ycsb import YCSBConfig, YCSBWorkload, load_ycsb
+
+
+class Sink(Node):
+    def __init__(self, address, network):
+        super().__init__(address, network)
+        self.packets = []
+
+    def deliver(self, packet):
+        self.packets.append(packet)
+
+
+def build(stamp_batch=1, members=3):
+    loop = EventLoop()
+    net = Network(loop, NetConfig(jitter=0.0))
+    addrs = [f"g0m{i}" for i in range(members)]
+    sinks = [Sink(a, net) for a in addrs]
+    net.groups.define(0, addrs)
+    seq = MultiSequencer("seq0", net, SequencerProfile.in_switch(),
+                         stamp_batch=stamp_batch)
+    net.install_sequencer_route("seq0")
+    sender = Sink("client", net)
+    return loop, net, seq, sinks, sender
+
+
+# -- sequencer stamp batching ----------------------------------------------
+
+def test_stamp_batching_amortizes_wakeups():
+    loop, net, seq, sinks, sender = build(stamp_batch=4)
+    # A genuinely same-tick burst (the fabric's FIFO links space normal
+    # arrivals ~1ns apart, so burst semantics are driven directly).
+    for i in range(8):
+        seq._process_groupcast(_groupcast_packet(i))
+    loop.run_until_idle()
+    assert seq.packets_stamped == 8
+    # ceil(8/4) wakeups, not 8: the first drains 4 and re-arms once.
+    assert seq.stamp_wakeups == 2
+    for sink in sinks:
+        assert [p.payload for p in sink.packets] == list(range(8))
+        assert [p.multistamp.seq_for(0) for p in sink.packets] \
+            == list(range(1, 9))
+
+
+def test_stamp_batching_preserves_stamp_order_vs_unbatched():
+    """Batched and unbatched runs assign identical (group, seq) stamps
+    in arrival order — batching changes scheduling, never ordering."""
+    outcomes = []
+    for stamp_batch in (1, 4):
+        loop, net, seq, sinks, sender = build(stamp_batch=stamp_batch)
+        for i in range(10):
+            sender.send_groupcast((0,), i)
+        loop.run_until_idle()
+        outcomes.append([(p.payload, p.multistamp.seq_for(0))
+                         for p in sinks[0].packets])
+    assert outcomes[0] == outcomes[1]
+
+
+def test_stamp_batch_one_never_queues():
+    loop, net, seq, sinks, sender = build(stamp_batch=1)
+    for i in range(5):
+        sender.send_groupcast((0,), i)
+    loop.run_until_idle()
+    assert seq.stamp_wakeups == 0
+    assert not seq._stamp_queue
+
+
+# -- ingress bookkeeping regressions ---------------------------------------
+
+def _groupcast_packet(i):
+    return Packet(src="client", dst=None, payload=i,
+                  groupcast=GroupcastHeader((0,)), sequenced=True)
+
+
+def test_crash_clears_stamp_queue_and_ingress():
+    """A crashed sequencer must not strand queued groupcasts or leak
+    queue-delay bookkeeping: both maps empty out with the node."""
+    loop, net, seq, sinks, sender = build(stamp_batch=8)
+    for i in range(5):
+        packet = _groupcast_packet(i)
+        seq._ingress[packet.packet_id] = 0.0
+        seq._stamp_queue.append(packet)
+    seq.crash()
+    assert not seq._stamp_queue
+    assert not seq._ingress
+    loop.run_until_idle()   # any armed wakeup must be a no-op
+    assert seq.packets_stamped == 0
+
+
+def test_ingress_map_stays_bounded():
+    loop, net, seq, sinks, sender = build()
+
+    class _Tracer:
+        def sequencer_stamp(self, *a, **k):
+            pass
+
+        def packet_send(self, *a, **k):
+            pass
+
+        def packet_tx(self, *a, **k):
+            pass
+
+        def packet_deliver(self, *a, **k):
+            pass
+
+    net.tracer = _Tracer()
+    for i in range(INGRESS_BOUND + 50):
+        seq.deliver(_groupcast_packet(i))
+    assert len(seq._ingress) <= INGRESS_BOUND
+
+
+# -- the full batching stack end-to-end in the simulator -------------------
+
+def _run_batched_eris(sequencer_chain=0, batch=4):
+    registry = ProcedureRegistry()
+    register_ycsb_procedures(registry)
+    partitioner = Partitioner(2)
+    cluster = build_cluster(
+        ClusterConfig(system="eris", n_shards=2, seed=42,
+                      sequencer_chain=sequencer_chain,
+                      sequencer_batch=batch, chain_pipeline=batch,
+                      eris=ErisConfig(reply_coalesce=batch)),
+        registry, partitioner,
+        loader=lambda stores, p: load_ycsb(stores, p, 500))
+    workload = YCSBWorkload(YCSBConfig(workload="srw", n_keys=500),
+                            partitioner, SplitRandom(43))
+    result = run_experiment(cluster, workload, ExperimentConfig(
+        n_clients=20, warmup=1e-3, duration=3e-3, drain=1e-3))
+    return cluster, result
+
+
+def test_batched_eris_commits_and_passes_invariants():
+    cluster, result = _run_batched_eris()
+    assert result.committed > 100
+    run_all_checks(cluster)
+    # The batching path carried the traffic: every stamp went through
+    # the wakeup queue. (Per-wakeup burst sizes depend on arrival
+    # spacing — the unit tests above pin the burst semantics, and
+    # closed-loop clients with one outstanding txn rarely coalesce.)
+    seqs = [s for s in cluster.sequencers if s.packets_stamped]
+    assert seqs and all(0 < s.stamp_wakeups <= s.packets_stamped
+                        for s in seqs)
+
+
+def test_batched_chain_eris_commits_and_passes_invariants():
+    cluster, result = _run_batched_eris(sequencer_chain=3)
+    assert result.committed > 100
+    run_all_checks(cluster)
+    from repro.net.chainseq import ChainSequencerNode
+    chain = [s for s in cluster.sequencers
+             if isinstance(s, ChainSequencerNode)]
+    assert chain and any(n.batches_forwarded > 0 for n in chain)
+
+
+# -- reply coalescing -------------------------------------------------------
+
+def _reply(txn_id, idx, shard=0, index=1, result=None):
+    from repro.core.messages import TxnReply
+    return TxnReply(txn_id=txn_id, txn_index=index, view_num=0,
+                    epoch_num=1, shard=shard, replica_index=idx,
+                    is_dl=(idx == 0), committed=True, result=result)
+
+
+def test_reply_coalescing_batches_same_client_burst():
+    """Two executions for one client in the same wakeup leave as a
+    single TxnReplyBatch, and the client's quorum accounting is
+    identical to per-reply delivery. Driven without running the loop:
+    the flush and the client handler are exercised directly."""
+    from repro.core.client import ErisClient
+    from repro.core.messages import TxnReplyBatch
+    cluster, _ = _run_batched_eris()
+    replica = cluster.replicas[0][0]
+    # Forge the same-wakeup burst the closed-loop workload above never
+    # produces: two replies for one client buffered, then one flush.
+    from repro.core.transaction import TxnId
+    ids = [TxnId(client="cx", seq=i) for i in (1, 2)]
+    before = replica.reply_batches_sent
+    for txn_id in ids:
+        replica._reply_buffer.setdefault("cx", []).append(
+            _reply(txn_id, replica.replica_index))
+    replica._flush_replies()
+    assert replica.reply_batches_sent == before + 1
+
+    # Client side: one TxnReplyBatch advances both pending quorums
+    # exactly as two separate TxnReply deliveries would.
+    client = ErisClient("cx", cluster.network, {0: 3}, retry_timeout=5e-3)
+    outcomes = []
+    ids = [client.submit("ycsb_read", {"key": 0}, (0,), outcomes.append)
+           for _ in range(2)]
+    batch = TxnReplyBatch(tuple(_reply(txn_id, 0) for txn_id in ids))
+    client.on_TxnReplyBatch("r0", batch, None)
+    assert not outcomes                       # DL alone is no quorum
+    for txn_id in ids:
+        for idx in (1, 2):
+            client.on_TxnReply(f"r{idx}", _reply(txn_id, idx), None)
+    assert len(outcomes) == 2
+    assert all(o.committed for o in outcomes)
+
+
+def test_reply_coalesce_caps_batch_size():
+    from repro.core.transaction import TxnId
+    cluster, _ = _run_batched_eris(batch=2)
+    replica = cluster.replicas[0][0]
+    replica._reply_buffer["cy"] = [
+        _reply(TxnId(client="cy", seq=i), replica.replica_index)
+        for i in range(5)]
+    before = replica.reply_batches_sent
+    replica._flush_replies()
+    # 5 replies at cap 2 -> two full batches + one singleton reply.
+    assert replica.reply_batches_sent == before + 2
+    assert not replica._reply_buffer
+
+
+def test_batching_knob_validation():
+    for kwargs in (dict(sequencer_batch=0), dict(chain_pipeline=0),
+                   dict(udp_batch_frames=-1)):
+        with pytest.raises(ConfigurationError):
+            ClusterConfig(system="eris", **kwargs).validate()

@@ -34,6 +34,10 @@ from repro.runtime.codec import (
     registered_message_types,
 )
 
+#: Both wire formats must satisfy every contract in this file: EWC1 is
+#: the paranoid-codec reference, EWC2 the compact binary fast path.
+WIRES = ("ewc1", "ewc2")
+
 # -- generic sample fabrication -------------------------------------------
 #
 # Build an instance of every registered wire dataclass from its type
@@ -128,19 +132,21 @@ def _registry_ids():
     return sorted(registered_message_types())
 
 
+@pytest.mark.parametrize("wire", WIRES)
 @pytest.mark.parametrize("name", _registry_ids())
-def test_every_registered_message_roundtrips_fully_populated(name):
+def test_every_registered_message_roundtrips_fully_populated(name, wire):
     cls = registered_message_types()[name]
     message = _fabricate(cls, populate_optionals=True)
-    assert decode_message(encode_message(message)) == message
+    assert decode_message(encode_message(message, wire)) == message
 
 
+@pytest.mark.parametrize("wire", WIRES)
 @pytest.mark.parametrize("name", _registry_ids())
-def test_every_registered_message_roundtrips_with_defaults(name):
+def test_every_registered_message_roundtrips_with_defaults(name, wire):
     """Optional/None-bearing fields kept at their declared defaults."""
     cls = registered_message_types()[name]
     message = _fabricate(cls, populate_optionals=False)
-    assert decode_message(encode_message(message)) == message
+    assert decode_message(encode_message(message, wire)) == message
 
 
 def test_registry_covers_the_whole_protocol_surface():
@@ -158,12 +164,13 @@ def test_registry_covers_the_whole_protocol_surface():
 
 # -- hand-built nesting cases ---------------------------------------------
 
-def test_deep_nesting_roundtrips():
+@pytest.mark.parametrize("wire", WIRES)
+def test_deep_nesting_roundtrips(wire):
     """HasTxn -> TxnRecord -> IndependentTransaction + MultiStamp, and
     a ViewChange carrying a log tuple of records plus frozensets of
     slots."""
     has = HasTxn(slot=_SAMPLE_SLOT, record=_SAMPLE_RECORD, sender="r0.1")
-    assert decode_message(encode_message(has)) == has
+    assert decode_message(encode_message(has, wire)) == has
 
     view_change = ViewChange(
         shard=1, new_view=4, epoch_num=2,
@@ -171,39 +178,42 @@ def test_deep_nesting_roundtrips():
         temp_drops=frozenset({_SAMPLE_SLOT}),
         perm_drops=frozenset({SlotId(0, 1, 2)}),
         un_drops=frozenset(), sender="r1.2")
-    decoded = decode_message(encode_message(view_change))
+    decoded = decode_message(encode_message(view_change, wire))
     assert decoded == view_change
     assert isinstance(decoded.log[0].multistamp, MultiStamp)
 
 
-def test_none_bearing_optionals_roundtrip():
+@pytest.mark.parametrize("wire", WIRES)
+def test_none_bearing_optionals_roundtrip(wire):
     """Optional fields explicitly set to None survive the wire."""
     response = PeerTxnResponse(slot=_SAMPLE_SLOT, entry=None,
                                sender="r0.2", dropped=True)
-    decoded = decode_message(encode_message(response))
+    decoded = decode_message(encode_message(response, wire))
     assert decoded == response
     assert decoded.entry is None
 
     record = TxnRecord(txn=None, multistamp=_SAMPLE_STAMP)
-    assert decode_message(encode_message(record)) == record
+    assert decode_message(encode_message(record, wire)) == record
 
 
-def test_scalars_and_composites_roundtrip_exactly():
+@pytest.mark.parametrize("wire", WIRES)
+def test_scalars_and_composites_roundtrip_exactly(wire):
     for value in (None, True, False, 0, -17, 3.5, 1e-9, "text", b"bytes",
                   (1, "two", None), [1, [2, [3]]], {"k": (1, 2)},
                   {(0, 1): "tuple key"}, frozenset({1, 2}), {3, 4}):
-        decoded = decode_message(encode_message(value))
+        decoded = decode_message(encode_message(value, wire))
         assert decoded == value
         assert type(decoded) is type(value)
 
 
-def test_packet_roundtrip_preserves_headers_and_ids():
+@pytest.mark.parametrize("wire", WIRES)
+def test_packet_roundtrip_preserves_headers_and_ids(wire):
     packet = Packet(src="client-1", dst=None,
                     payload=HasTxn(slot=_SAMPLE_SLOT, record=_SAMPLE_RECORD,
                                    sender="r0.1"),
                     groupcast=GroupcastHeader(groups=(0, 1)),
                     multistamp=_SAMPLE_STAMP, sequenced=True)
-    decoded = decode_packet(encode_packet(packet))
+    decoded = decode_packet(encode_packet(packet, wire))
     assert decoded.src == packet.src
     assert decoded.dst is None
     assert decoded.payload == packet.payload
@@ -222,8 +232,9 @@ def test_unknown_message_type_raises_codec_error():
         decode_message(buffer)
 
 
-def test_truncated_buffer_raises_codec_error():
-    buffer = encode_message(_SAMPLE_RECORD)
+@pytest.mark.parametrize("wire", WIRES)
+def test_truncated_buffer_raises_codec_error(wire):
+    buffer = encode_message(_SAMPLE_RECORD, wire)
     for cut in (0, 1, 3, len(buffer) // 2, len(buffer) - 1):
         with pytest.raises(CodecError):
             decode_message(buffer[:cut])
@@ -256,35 +267,37 @@ def test_unregistered_dataclass_encode_raises_codec_error():
 
 # -- chain-replicated sequencer messages ----------------------------------
 
-def test_chain_forward_roundtrips_with_payload_and_without():
+@pytest.mark.parametrize("wire", WIRES)
+def test_chain_forward_roundtrips_with_payload_and_without(wire):
     from repro.net.chainseq import ChainForward
 
     loaded = ChainForward(version=3, epoch=2, stamps=((0, 7), (1, 9)),
                           origin="client-4", payload=_SAMPLE_TXN,
                           groups=(0, 1), trace_id=88)
-    assert decode_message(encode_message(loaded)) == loaded
+    assert decode_message(encode_message(loaded, wire)) == loaded
 
     bare = ChainForward(version=1, epoch=1, stamps=((2, 1),),
                         origin="client-1", payload=None, groups=(2,))
-    decoded = decode_message(encode_message(bare))
+    decoded = decode_message(encode_message(bare, wire))
     assert decoded == bare and decoded.trace_id is None
 
 
-def test_chain_repair_control_plane_roundtrips():
+@pytest.mark.parametrize("wire", WIRES)
+def test_chain_repair_control_plane_roundtrips(wire):
     from repro.net.chainseq import (ChainInstall, ChainInstallAck,
                                     ChainState, ChainStateRequest)
 
     install = ChainInstall(version=4, epoch=2,
                            members=("chain1", "chain2"),
                            counters={0: 17, 1: 3, 5: 0})
-    decoded = decode_message(encode_message(install))
+    decoded = decode_message(encode_message(install, wire))
     assert decoded == install
     assert decoded.counters == {0: 17, 1: 3, 5: 0}   # int keys survive
 
     for msg in (ChainStateRequest(nonce=9),
                 ChainState(nonce=9, version=4, epoch=2, counters={0: 17}),
                 ChainInstallAck(version=4, sender="chain2")):
-        assert decode_message(encode_message(msg)) == msg
+        assert decode_message(encode_message(msg, wire)) == msg
 
 
 def test_chain_messages_are_registered():

@@ -56,7 +56,7 @@ CHAIN_THROUGHPUT = 198333.33333333334
 
 
 def run_small_eris(tracing: bool = False, paranoid_codec: bool = False,
-                   sequencer_chain: int = 0):
+                   sequencer_chain: int = 0, wire: str = "ewc1"):
     """One small fig6-style Eris measurement with an event fingerprint."""
     registry = ProcedureRegistry()
     register_ycsb_procedures(registry)
@@ -64,7 +64,8 @@ def run_small_eris(tracing: bool = False, paranoid_codec: bool = False,
     cluster = build_cluster(
         ClusterConfig(system="eris", n_shards=2, seed=42, tracing=tracing,
                       sequencer_chain=sequencer_chain,
-                      net=NetConfig(paranoid_codec=paranoid_codec)),
+                      net=NetConfig(paranoid_codec=paranoid_codec,
+                                    wire=wire)),
         registry, partitioner,
         loader=lambda stores, p: load_ycsb(stores, p, 500))
     digest = hashlib.sha256()
@@ -134,6 +135,19 @@ def test_paranoid_codec_mode_is_bit_identical():
     assert run["throughput"] == pytest.approx(PRE_OPTIMIZATION_THROUGHPUT)
 
 
+def test_ewc2_paranoid_codec_mode_is_bit_identical():
+    """The paranoid round-trip over the compact binary wire (EWC2) must
+    reproduce the *same* pinned event stream as EWC1 and as the
+    reference-passing fabric: the fast codec preserves every payload
+    bit-exactly under full protocol traffic, not just in unit tests."""
+    run = run_small_eris(paranoid_codec=True, wire="ewc2")
+    assert run["digest"] == PRE_OPTIMIZATION_DIGEST
+    assert run["fired"] == PRE_OPTIMIZATION_FIRED
+    assert run["committed"] == PRE_OPTIMIZATION_COMMITTED
+    assert run["packets_sent"] == PRE_OPTIMIZATION_PACKETS_SENT
+    assert run["throughput"] == pytest.approx(PRE_OPTIMIZATION_THROUGHPUT)
+
+
 def test_chain_off_leaves_pinned_sequence_untouched():
     """``sequencer_chain=0`` must be byte-identical to the paper's
     single-sequencer path: the chain hooks ride behind the existing
@@ -165,6 +179,16 @@ def test_chain_mode_paranoid_codec_is_bit_identical():
     survives a wire round-trip per delivery without perturbing the
     pinned chain event stream."""
     run = run_small_eris(sequencer_chain=3, paranoid_codec=True)
+    assert run["digest"] == CHAIN_DIGEST
+    assert run["fired"] == CHAIN_FIRED
+    assert run["committed"] == CHAIN_COMMITTED
+
+
+def test_chain_mode_ewc2_paranoid_codec_is_bit_identical():
+    """Chain traffic (ChainForward batches included) over the EWC2
+    paranoid round-trip also reproduces the pinned chain stream."""
+    run = run_small_eris(sequencer_chain=3, paranoid_codec=True,
+                         wire="ewc2")
     assert run["digest"] == CHAIN_DIGEST
     assert run["fired"] == CHAIN_FIRED
     assert run["committed"] == CHAIN_COMMITTED

@@ -136,6 +136,32 @@ def test_sequenced_groupcast_blackholes_without_route():
     assert net.packets_dropped == 1
 
 
+def test_fanout_copies_counted_separately_from_sends():
+    """One groupcast is one protocol-level send; the three per-member
+    copies land in ``fanout_copies`` only. Both backends (sim fabric
+    and UDP runtime) follow this split — see the matching test in
+    test_runtime_udp.py."""
+    loop, net = make_net()
+    members = [Recorder(f"m{i}", net) for i in range(3)]
+    net.groups.define(0, [m.address for m in members])
+    sender = Recorder("s", net)
+    sender.send_groupcast((0,), "news", sequenced=False)
+    loop.run_until_idle()
+    assert net.packets_sent == 1
+    assert net.fanout_copies == 3
+    assert net.packets_delivered == 3
+    sender.send("m0", "direct")          # unicast adds no fan-out copy
+    loop.run_until_idle()
+    assert net.packets_sent == 2
+    assert net.fanout_copies == 3
+
+
+def test_unknown_wire_format_rejected():
+    from repro.runtime.codec import CodecError
+    with pytest.raises(CodecError):
+        NetConfig(wire="ewc9").validate()
+
+
 def test_invalid_drop_rate_rejected():
     with pytest.raises(NetworkError):
         NetConfig(drop_rate=1.5).validate()

@@ -9,11 +9,14 @@ runtime differs, which is the point of the abstraction.
 
 from __future__ import annotations
 
+import socket
+
 import pytest
 
 from repro.errors import NetworkError
 from repro.net.endpoint import Node
 from repro.runtime.asyncio_udp import AsyncioUdpRuntime
+from repro.runtime.codec import MAX_DATAGRAM_FRAMES, CodecError
 
 
 # -- runtime primitives over real sockets ---------------------------------
@@ -106,6 +109,112 @@ def test_duplicate_registration_rejected(runtime):
         Echo("dup", runtime)
 
 
+# -- shutdown socket ownership (double-close regression) ------------------
+
+def test_stop_closes_each_transport_owned_socket_exactly_once(monkeypatch):
+    """Regression: stop() used to hard-close every registered socket and
+    then close the asyncio transports, whose own close callbacks close
+    the same sockets again. Releasing an fd while a transport still
+    holds it invites fd-reuse corruption (the callback can close a
+    descriptor that now belongs to someone else). A transport-owned
+    socket must therefore be closed exactly once — by its transport."""
+    closes: dict[int, int] = {}
+    original_close = socket.socket.close
+
+    def counting_close(self):
+        closes[id(self)] = closes.get(id(self), 0) + 1
+        original_close(self)
+
+    monkeypatch.setattr(socket.socket, "close", counting_close)
+    rt = AsyncioUdpRuntime(seed=1)
+    Echo("a", rt)
+    Echo("b", rt)
+    rt.start()
+    owned = [id(sock) for sock in rt._socks.values()]
+    assert len(rt._transports) == 2
+    rt.stop()
+    for sock_id in owned:
+        assert closes.get(sock_id, 0) == 1
+
+
+def test_stop_before_start_closes_orphan_sockets():
+    """Sockets bound in register() but never attached to a transport
+    have no owner to close them: stop() must close them directly (and
+    leave none with a live fd)."""
+    rt = AsyncioUdpRuntime(seed=1)
+    Echo("a", rt)
+    Echo("b", rt)
+    socks = list(rt._socks.values())
+    assert all(sock.fileno() != -1 for sock in socks)
+    rt.stop()
+    assert all(sock.fileno() == -1 for sock in socks)
+    rt.stop()                     # idempotent
+
+
+# -- fan-out accounting (counter-asymmetry regression) --------------------
+
+def test_fanout_copies_counted_separately_from_sends(runtime):
+    """Regression: the UDP backend used to fold fan-out copies into
+    nothing at all — a 3-member groupcast looked like one send and the
+    per-member copies were invisible. Both backends now account one
+    protocol-level send plus len(members) fanout_copies (the sim-fabric
+    twin of this test lives in test_network.py)."""
+    members = [Echo(f"m{i}", runtime) for i in range(3)]
+    sender = Echo("sender", runtime)
+    runtime.groups.define(0, [m.address for m in members])
+    runtime.start()
+    sent_before = runtime.packets_sent
+    sender.send_groupcast((0,), ("fan",), sequenced=False)
+    assert runtime.packets_sent == sent_before + 1
+    assert runtime.fanout_copies == 3
+    assert runtime.run_until(
+        lambda: all(("fan",) in m.seen for m in members), timeout=5.0)
+    assert runtime.fanout_copies == 3   # echoes are unicast replies
+
+
+# -- wire / batching knobs -------------------------------------------------
+
+def test_runtime_rejects_bad_wire_and_batch_knobs():
+    with pytest.raises(CodecError):
+        AsyncioUdpRuntime(wire="ewc9")
+    for frames in (0, -1, MAX_DATAGRAM_FRAMES + 1):
+        with pytest.raises(NetworkError):
+            AsyncioUdpRuntime(batch_frames=frames)
+
+
+def test_batched_frames_share_datagrams():
+    """With batch_frames > 1 a same-iteration burst to one destination
+    leaves as a single EWCB datagram; the receiver unpacks every frame."""
+    class Sink(Node):
+        def __init__(self, address, runtime):
+            super().__init__(address, runtime)
+            self.seen = []
+
+        def handle(self, src, message, packet):
+            self.seen.append(message)
+
+    rt = AsyncioUdpRuntime(seed=5, wire="ewc2", batch_frames=8)
+    try:
+        a = Sink("a", rt)
+        b = Sink("b", rt)
+        rt.start()
+
+        def burst():
+            for i in range(6):
+                a.send("b", ("burst", i))
+
+        rt.aloop.call_soon(burst)
+        assert rt.run_until(
+            lambda: len(b.seen) == 6, timeout=5.0)
+        assert [m for m in b.seen] == [("burst", i) for i in range(6)]
+        assert rt.frames_sent == 6
+        # One flush for the burst: 6 frames, 1 datagram (the exact
+        # count is scheduling-dependent only above batch_frames).
+        assert rt.datagrams_sent == 1
+    finally:
+        rt.stop()
+
+
 # -- the full Eris stack over UDP -----------------------------------------
 
 def test_eris_end_to_end_over_udp_loopback():
@@ -121,3 +230,19 @@ def test_eris_end_to_end_over_udp_loopback():
     assert result.committed >= 25
     assert result.checks_passed
     assert result.packets_delivered > 0
+
+
+def test_eris_over_udp_with_ewc2_and_batching():
+    """Same smoke with the whole fast-wire stack on: EWC2 frames, EWCB
+    datagram packing, sequencer stamp batching, and reply coalescing.
+    The §6.7 checkers must still pass, and the packing must actually
+    fire (strictly fewer datagrams than frames)."""
+    from repro.harness.udp_smoke import run_udp_smoke
+
+    result = run_udp_smoke(n_shards=2, n_replicas=3, n_clients=3,
+                           min_commits=25, timeout=30.0,
+                           workload="mrmw", distributed_fraction=0.5,
+                           wire="ewc2", batch=8)
+    assert result.committed >= 25
+    assert result.checks_passed
+    assert result.frames_sent > result.datagrams_sent
