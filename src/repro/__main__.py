@@ -1,0 +1,12 @@
+"""``python -m repro``: the experiment CLI.
+
+Thin alias for :mod:`repro.harness.cli` so the documented entry point
+is short: ``python -m repro udpsmoke --trace run.jsonl`` etc.
+"""
+
+import sys
+
+from repro.harness.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

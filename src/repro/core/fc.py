@@ -94,12 +94,15 @@ class FailureCoordinator(Node):
 
     def instrument(self, registry) -> None:
         """Register the FC's live counters as pull-gauges."""
-        registry.gauge("fc", "finds_resolved", fn=lambda: self.finds_resolved)
-        registry.gauge("fc", "drops_decided", fn=lambda: self.drops_decided)
+        registry.gauge("fc", "finds_resolved", fn=lambda: self.finds_resolved,
+                       monotone=True)
+        registry.gauge("fc", "drops_decided", fn=lambda: self.drops_decided,
+                       monotone=True)
         registry.gauge("fc", "epoch_changes_completed",
-                       fn=lambda: self.epoch_changes_completed)
+                       fn=lambda: self.epoch_changes_completed,
+                       monotone=True)
         registry.gauge("fc", "messages_processed",
-                       fn=lambda: self.messages_processed)
+                       fn=lambda: self.messages_processed, monotone=True)
 
     # -- helpers ----------------------------------------------------------
     def _all_replicas(self) -> list[Address]:

@@ -201,16 +201,18 @@ class ErisReplica(Node):
         """Register this replica's live counters as pull-gauges."""
         component = f"replica/{self.address}"
         registry.gauge(component, "txns_processed",
-                       fn=lambda: self.txns_processed)
+                       fn=lambda: self.txns_processed, monotone=True)
         registry.gauge(component, "log_len", fn=lambda: self.log.last_index)
         registry.gauge(component, "view_num", fn=lambda: self.view_num)
         registry.gauge(component, "epoch_num", fn=lambda: self.epoch_num)
         registry.gauge(component, "peer_recoveries",
-                       fn=lambda: self.drops_recovered_from_peer)
+                       fn=lambda: self.drops_recovered_from_peer,
+                       monotone=True)
         registry.gauge(component, "fc_escalations",
-                       fn=lambda: self.drops_escalated_to_fc)
+                       fn=lambda: self.drops_escalated_to_fc,
+                       monotone=True)
         registry.gauge(component, "messages_processed",
-                       fn=lambda: self.messages_processed)
+                       fn=lambda: self.messages_processed, monotone=True)
 
     # -- roles ----------------------------------------------------------
     @property

@@ -25,7 +25,7 @@ The invariants:
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Any, Optional, Union
 
 import networkx as nx
 
@@ -148,10 +148,13 @@ TraceLike = Union[str, Tracer, list]
 
 def _trace_events(trace: TraceLike) -> list[dict]:
     if isinstance(trace, str):
-        return load_trace(trace)
+        trace = load_trace(trace)
     if isinstance(trace, Tracer):
         trace = trace.events
-    return [e.to_dict() if isinstance(e, TraceEvent) else e for e in trace]
+    flat = [e.to_dict() if isinstance(e, TraceEvent) else e for e in trace]
+    # Tolerate metadata lines (flight-recorder dump headers have no
+    # "kind"): the checkers consume only event records.
+    return [e for e in flat if "kind" in e]
 
 
 def trace_replica_orders(trace: TraceLike
@@ -382,21 +385,34 @@ def run_trace_checks(trace: TraceLike) -> None:
 
 
 def run_all_checks(cluster: Optional[Cluster] = None,
-                   trace: Optional[TraceLike] = None) -> None:
+                   trace: Optional[TraceLike] = None,
+                   recorder: Optional[Any] = None,
+                   recorder_path: str = "flight-recorder.jsonl") -> None:
     """Run every applicable invariant check.
 
     ``cluster`` drives the state-based checkers; ``trace`` (a JSONL
     path, a live Tracer, or an event list) additionally drives the
     trace-backed checkers. Passing a traced cluster alone checks its
     live tracer too.
+
+    ``recorder`` (a :class:`repro.obs.recorder.FlightRecorder`) is the
+    black-box hook: when any check raises, the recorder's ring is
+    dumped to ``recorder_path`` before the violation propagates, so
+    the events leading up to the failure survive the crash.
     """
     if cluster is None and trace is None:
         raise ValueError("run_all_checks needs a cluster, a trace, or both")
-    if cluster is not None:
-        check_serializability(cluster)
-        check_atomicity(cluster)
-        check_replica_consistency(cluster)
-        if trace is None and cluster.tracer is not None:
-            trace = cluster.tracer
-    if trace is not None:
-        run_trace_checks(trace)
+    try:
+        if cluster is not None:
+            check_serializability(cluster)
+            check_atomicity(cluster)
+            check_replica_consistency(cluster)
+            if trace is None and cluster.tracer is not None:
+                trace = cluster.tracer
+        if trace is not None:
+            run_trace_checks(trace)
+    except InvariantViolation as exc:
+        if recorder is not None and len(recorder):
+            recorder.dump(recorder_path, reason=str(exc),
+                          context={"origin": "run_all_checks"})
+        raise

@@ -19,6 +19,16 @@ span trees and attributes commit latency to protocol phases::
     python -m repro.harness.cli trace run.jsonl
     python -m repro.harness.cli trace analyze run.jsonl \
         --json breakdown.json --chrome run.trace.json
+
+The same stack runs over real sockets: ``udpsmoke --trace --metrics-out``
+records a wall-clock causal trace plus a sampled metrics time-series
+from the asyncio-UDP backend, and ``stats`` renders any series file::
+
+    python -m repro udpsmoke --trace udp.jsonl --metrics-out udp-metrics.jsonl
+    python -m repro trace analyze udp.jsonl
+    python -m repro stats udp-metrics.jsonl
+
+(``python -m repro`` is shorthand for this module.)
 """
 
 from __future__ import annotations
@@ -98,6 +108,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="record a causal trace and export it as JSONL")
     parser.add_argument("--metrics", action="store_true",
                         help="print the per-component metric table")
+    parser.add_argument("--metrics-out", metavar="PATH",
+                        help="sample the metrics registry periodically "
+                             "(simulated time) and export the JSONL "
+                             "time-series for `stats`")
+    parser.add_argument("--metrics-interval", type=float, default=1e-3,
+                        metavar="SECS",
+                        help="sampling period for --metrics-out "
+                             "(simulated seconds)")
     parser.add_argument("--list-systems", action="store_true")
     return parser
 
@@ -126,6 +144,11 @@ def build_analyze_parser() -> argparse.ArgumentParser:
                              "JSON timeline of every span tree")
     parser.add_argument("--top", type=int, default=0, metavar="N",
                         help="also list the N slowest transactions")
+    parser.add_argument("--require-attributed", action="store_true",
+                        help="exit non-zero when no transaction could "
+                             "be phase-attributed (CI gate: an empty "
+                             "breakdown means tracing was not actually "
+                             "wired)")
     return parser
 
 
@@ -155,7 +178,111 @@ def build_udpsmoke_parser() -> argparse.ArgumentParser:
                         help="enable the batching stack at depth N: "
                              "sequencer stamping, chain pipelining, "
                              "reply coalescing, EWCB datagram packing")
+    parser.add_argument("--trace", metavar="PATH",
+                        help="record a full causal trace (clocked off "
+                             "the asyncio loop's monotonic clock) and "
+                             "export it as JSONL for `trace analyze`")
+    parser.add_argument("--metrics-out", metavar="PATH",
+                        help="sample the metrics registry periodically "
+                             "and export the JSONL time-series for "
+                             "`stats`")
+    parser.add_argument("--metrics-interval", type=float, default=0.05,
+                        metavar="SECS",
+                        help="sampling period for --metrics-out")
+    parser.add_argument("--recorder", metavar="PATH",
+                        default="flight-recorder.jsonl",
+                        help="flight-recorder dump path (written only "
+                             "when a check fails or the run crashes)")
+    parser.add_argument("--recorder-capacity", type=int, default=4096,
+                        metavar="N", help="flight-recorder ring size")
     return parser
+
+
+def build_stats_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.harness.cli stats",
+        description="Render a metrics time-series (JSONL, written by "
+                    "--metrics-out / udpsmoke --metrics-out) as "
+                    "per-component tables: totals and mean/peak rates "
+                    "for counters, last values for gauges, count/p50/"
+                    "p99 for histograms.")
+    parser.add_argument("path", help="metrics series file (JSONL)")
+    parser.add_argument("--component", metavar="NAME",
+                        help="only show this component")
+    return parser
+
+
+def _fmt_stat(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.6g}"
+    return str(value)
+
+
+def stats_main(argv: Sequence[str]) -> int:
+    """The ``stats`` subcommand: metrics time-series -> tables."""
+    from repro.obs import load_series, summarize_series
+
+    args = build_stats_parser().parse_args(argv)
+    try:
+        meta, samples = load_series(args.path)
+    except OSError as exc:
+        print(f"error: cannot read series: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = summarize_series(meta, samples)
+    span = report["span"]
+    duration = ((span["t_last"] - span["t_first"])
+                if span["samples"] else 0.0)
+    print(format_table(
+        ["stat", "value"],
+        [["backend", span["backend"]],
+         ["samples", span["samples"]],
+         ["interval", _fmt_stat(span["interval"])],
+         ["series span (s)", f"{duration:.3f}"]],
+        title=args.path))
+    rows = report["rows"]
+    if args.component:
+        rows = [r for r in rows if r["component"] == args.component]
+        if not rows:
+            print(f"error: no component {args.component!r} in series "
+                  f"(have: {sorted({r['component'] for r in report['rows']})})",
+                  file=sys.stderr)
+            return 2
+    rates = [r for r in rows if r["kind"] == "rate"]
+    if rates:
+        print(format_table(
+            ["component", "counter", "total", "mean rate/s", "peak rate/s"],
+            [[r["component"], r["name"], _fmt_stat(r["total"]),
+              _fmt_stat(r.get("rate_mean", 0.0)),
+              _fmt_stat(r.get("rate_peak", 0.0))] for r in rates],
+            title="\ncounters"))
+    gauges = [r for r in rows if r["kind"] == "gauge"]
+    if gauges:
+        print(format_table(
+            ["component", "gauge", "last"],
+            [[r["component"], r["name"], _fmt_stat(r["last"])]
+             for r in gauges],
+            title="\ngauges (final sample)"))
+    hists = [r for r in rows if r["kind"] == "hist"]
+    if hists:
+        print(format_table(
+            ["component", "histogram", "count", "mean", "p50", "p99", "max"],
+            [[r["component"], r["name"], r["count"],
+              _fmt_stat(r.get("mean")), _fmt_stat(r.get("p50")),
+              _fmt_stat(r.get("p99")), _fmt_stat(r.get("max"))]
+             for r in hists],
+            title="\nhistograms (final sample)"))
+    return 0
 
 
 def udpsmoke_main(argv: Sequence[str]) -> int:
@@ -171,26 +298,36 @@ def udpsmoke_main(argv: Sequence[str]) -> int:
             timeout=args.timeout, workload=args.workload,
             distributed_fraction=args.distributed, n_keys=args.keys,
             seed=args.seed, chain=args.chain, wire=args.wire,
-            batch=args.batch)
+            batch=args.batch, trace_path=args.trace,
+            metrics_path=args.metrics_out,
+            metrics_interval=args.metrics_interval,
+            recorder_path=args.recorder,
+            recorder_capacity=args.recorder_capacity)
     except (ExperimentError, InvariantViolation) as exc:
         print(f"udp smoke: FAILED\n  {exc}", file=sys.stderr)
+        print(f"  flight recorder dump (last events before the "
+              f"failure): {args.recorder}", file=sys.stderr)
         return 1
-    print(format_table(
-        ["stat", "value"],
-        [["backend", "asyncio-udp (loopback)"],
-         ["shards x replicas", f"{args.shards} x {args.replicas}"],
-         ["wire / batch", f"{args.wire} / {args.batch}"],
-         ["chain", args.chain or "off"],
-         ["committed", result.committed],
-         ["aborted", result.aborted],
-         ["retries", result.retries],
-         ["wall seconds", f"{result.wall_seconds:.3f}"],
-         ["packets sent", result.packets_sent],
-         ["packets delivered", result.packets_delivered],
-         ["frames / datagrams", f"{result.frames_sent} / "
-                                f"{result.datagrams_sent}"],
-         ["invariant checks", "OK"]],
-        title="udp smoke"))
+    rows = [["backend", "asyncio-udp (loopback)"],
+            ["shards x replicas", f"{args.shards} x {args.replicas}"],
+            ["wire / batch", f"{args.wire} / {args.batch}"],
+            ["chain", args.chain or "off"],
+            ["committed", result.committed],
+            ["aborted", result.aborted],
+            ["retries", result.retries],
+            ["wall seconds", f"{result.wall_seconds:.3f}"],
+            ["packets sent", result.packets_sent],
+            ["packets delivered", result.packets_delivered],
+            ["frames / datagrams", f"{result.frames_sent} / "
+                                   f"{result.datagrams_sent}"],
+            ["invariant checks", "OK"]]
+    if result.trace_path:
+        rows.append(["trace", f"{result.trace_events} events -> "
+                              f"{result.trace_path}"])
+    if result.metrics_path:
+        rows.append(["metrics series", f"{result.metrics_samples} samples "
+                                       f"-> {result.metrics_path}"])
+    print(format_table(["stat", "value"], rows, title="udp smoke"))
     return 0
 
 
@@ -235,10 +372,25 @@ def run(args: argparse.Namespace):
             plan.kill_chain_node_at(kill_at, 0)
         else:
             plan.kill_sequencer_at(kill_at)
-    result = run_experiment(cluster, workload, ExperimentConfig(
-        n_clients=args.clients, warmup=args.warmup,
-        duration=args.duration, count_filter=count_filter,
-        trace_path=getattr(args, "trace", None)))
+    sampler = None
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out:
+        from repro.obs import MetricsSampler
+        cluster.instrument_metrics()
+        sampler = MetricsSampler(
+            cluster.runtime, cluster.metrics,
+            interval=getattr(args, "metrics_interval", 1e-3))
+        sampler.start()
+    try:
+        result = run_experiment(cluster, workload, ExperimentConfig(
+            n_clients=args.clients, warmup=args.warmup,
+            duration=args.duration, count_filter=count_filter,
+            trace_path=getattr(args, "trace", None)))
+    finally:
+        if sampler is not None:
+            sampler.stop()
+            count = sampler.export(metrics_out)
+            print(f"metrics series: {count} samples -> {metrics_out}")
     return cluster, result
 
 
@@ -315,6 +467,10 @@ def analyze_main(argv: Sequence[str]) -> int:
     else:
         print("\nno attributable transactions "
               "(trace has no completed quorum-reaching txns)")
+        if args.require_attributed:
+            print("error: --require-attributed: empty phase breakdown",
+                  file=sys.stderr)
+            return 1
 
     if args.top:
         slowest = sorted(forest.attributed(),
@@ -368,6 +524,8 @@ def trace_main(argv: Sequence[str]) -> int:
             ["reorders", summary["reorders"]],
             ["view_changes", summary["view_changes"]],
             ["epoch_changes", summary["epoch_changes"]]]
+    for reason, count in summary["drop_reasons"].items():
+        rows.append([f"drop.{reason}", count])
     for name, count in summary["recoveries"].items():
         rows.append([f"recovery.{name}", count])
     print(format_table(["stat", "value"], rows, title=args.path))
@@ -400,6 +558,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return trace_main(argv[1:])
     if argv and argv[0] == "udpsmoke":
         return udpsmoke_main(argv[1:])
+    if argv and argv[0] == "stats":
+        return stats_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.list_systems:

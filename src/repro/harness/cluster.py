@@ -168,8 +168,7 @@ class Cluster:
         """Attach a causal tracer to the fabric (idempotent) and wire
         the per-component metrics registry."""
         if self.tracer is None:
-            self.tracer = Tracer(clock=lambda: self.runtime.now)
-            self.runtime.tracer = self.tracer
+            self.tracer = self.runtime.attach_tracer(Tracer())
         self.instrument_metrics()
         return self.tracer
 

@@ -12,13 +12,17 @@ differs. Used by ``python -m repro udpsmoke`` and the CI smoke job.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable, Optional
 
 from repro.baselines.common import OpResult, WorkloadOp
 from repro.core.replica import ErisConfig
-from repro.errors import ExperimentError
+from repro.errors import ExperimentError, InvariantViolation
 from repro.harness.checkers import run_all_checks
 from repro.harness.cluster import Cluster, ClusterConfig, build_cluster
 from repro.net.controller import ControllerConfig
+from repro.obs.recorder import DEFAULT_CAPACITY, FlightRecorder
+from repro.obs.sampler import MetricsSampler
+from repro.obs.trace import Tracer
 from repro.sim.randomness import SplitRandom
 from repro.store import ProcedureRegistry
 from repro.workloads import Partitioner, register_ycsb_procedures
@@ -50,6 +54,13 @@ class SmokeResult:
     datagrams_sent: int = 0
     checks_passed: bool = True
     notes: list[str] = field(default_factory=list)
+    #: Observability outputs (None when the corresponding feature was
+    #: off or nothing was written).
+    trace_path: Optional[str] = None
+    trace_events: int = 0
+    metrics_path: Optional[str] = None
+    metrics_samples: int = 0
+    recorder_dump: Optional[str] = None
 
 
 def build_udp_cluster(n_shards: int = 2, n_replicas: int = 3,
@@ -90,14 +101,54 @@ def run_udp_smoke(n_shards: int = 2, n_replicas: int = 3,
                   timeout: float = 30.0, workload: str = "mrmw",
                   distributed_fraction: float = 0.5, n_keys: int = 200,
                   seed: int = 7, check: bool = True, chain: int = 0,
-                  wire: str = "ewc1", batch: int = 1) -> SmokeResult:
+                  wire: str = "ewc1", batch: int = 1,
+                  trace_path: Optional[str] = None,
+                  metrics_path: Optional[str] = None,
+                  metrics_interval: float = 0.05,
+                  recorder_path: str = "flight-recorder.jsonl",
+                  recorder_capacity: int = DEFAULT_CAPACITY,
+                  _inject_fault: Optional[Callable[[Cluster], None]] = None,
+                  ) -> SmokeResult:
     """Run the loopback smoke test; raises on invariant violations or
     if fewer than ``min_commits`` transactions commit within
-    ``timeout`` real seconds."""
+    ``timeout`` real seconds.
+
+    Observability wiring:
+
+    - ``trace_path`` turns on full causal tracing (the tracer is
+      attached via :meth:`Runtime.attach_tracer`, so every timestamp
+      comes from the loop's monotonic clock) and exports JSONL there —
+      the file feeds ``trace analyze`` / the 7-phase span
+      decomposition unmodified.
+    - ``metrics_path`` instruments every component plus the runtime's
+      health metrics and runs a :class:`MetricsSampler` at
+      ``metrics_interval``, exporting the JSONL series there.
+    - The flight recorder is **always on**: without ``trace_path`` the
+      tracer runs ring-only (``retain=False`` — bounded memory, events
+      land only in the ring), and the ring is dumped to
+      ``recorder_path`` whenever a §6.7 checker fails or the harness
+      errors out. In ring-only mode only the state-based checkers run
+      (``cluster.tracer`` stays ``None``): the ring holds a *window*,
+      and trace checkers on a partial stream would report false gaps.
+
+    ``_inject_fault``, test-only, runs against the finished cluster
+    just before the checkers — the recorder auto-dump test uses it to
+    plant a §6.7 violation.
+    """
     cluster = build_udp_cluster(n_shards=n_shards, n_replicas=n_replicas,
                                 n_keys=n_keys, seed=seed, chain=chain,
                                 wire=wire, batch=batch)
     runtime = cluster.runtime
+    recorder = FlightRecorder(capacity=recorder_capacity)
+    if trace_path is not None:
+        cluster.tracer = runtime.attach_tracer(Tracer(recorder=recorder))
+    else:
+        runtime.attach_tracer(Tracer(recorder=recorder, retain=False))
+    sampler = None
+    if metrics_path is not None:
+        cluster.instrument_metrics()
+        sampler = MetricsSampler(runtime, cluster.metrics,
+                                 interval=metrics_interval)
     workload_gen = YCSBWorkload(
         YCSBConfig(workload=workload, n_keys=n_keys,
                    distributed_fraction=distributed_fraction),
@@ -106,6 +157,8 @@ def run_udp_smoke(n_shards: int = 2, n_replicas: int = 3,
     stats = {"committed": 0, "aborted": 0, "retries": 0}
     clients = [cluster.make_client() for _ in range(n_clients)]
     runtime.start()
+    if sampler is not None:
+        sampler.start()
     start = runtime.now
 
     def issue(client) -> None:
@@ -146,12 +199,34 @@ def run_udp_smoke(n_shards: int = 2, n_replicas: int = 3,
             raise ExperimentError(
                 f"only {stats['committed']}/{min_commits} transactions "
                 f"committed within {timeout}s over UDP loopback")
+        if _inject_fault is not None:
+            _inject_fault(cluster)
         if check:
-            run_all_checks(cluster)
+            run_all_checks(cluster, recorder=recorder,
+                           recorder_path=recorder_path)
             result.notes.append("§6.7 invariant checks passed")
-    except Exception:
+    except InvariantViolation:
+        # run_all_checks already dumped the recorder (when non-empty).
         result.checks_passed = False
+        if len(recorder):
+            result.recorder_dump = recorder_path
+        raise
+    except Exception as exc:
+        # Commit-count timeout or an unexpected harness crash: dump
+        # here so the last window of activity always survives.
+        result.checks_passed = False
+        if len(recorder):
+            recorder.dump(recorder_path, reason=str(exc),
+                          context={"origin": "run_udp_smoke"})
+            result.recorder_dump = recorder_path
         raise
     finally:
+        if sampler is not None:
+            sampler.stop()
+            result.metrics_samples = sampler.export(metrics_path)
+            result.metrics_path = metrics_path
+        if trace_path is not None and cluster.tracer is not None:
+            result.trace_events = cluster.tracer.export(trace_path)
+            result.trace_path = trace_path
         runtime.stop()
     return result

@@ -169,12 +169,14 @@ class Network(Runtime):
     def instrument(self, registry) -> None:
         """Register pull-gauges over the fabric's live counters on a
         :class:`repro.obs.metrics.MetricsRegistry` (zero hot-path cost)."""
-        registry.gauge("net", "packets_sent", fn=lambda: self.packets_sent)
+        registry.gauge("net", "packets_sent", fn=lambda: self.packets_sent,
+                       monotone=True)
         registry.gauge("net", "packets_dropped",
-                       fn=lambda: self.packets_dropped)
+                       fn=lambda: self.packets_dropped, monotone=True)
         registry.gauge("net", "packets_delivered",
-                       fn=lambda: self.packets_delivered)
-        registry.gauge("net", "fanout_copies", fn=lambda: self.fanout_copies)
+                       fn=lambda: self.packets_delivered, monotone=True)
+        registry.gauge("net", "fanout_copies", fn=lambda: self.fanout_copies,
+                       monotone=True)
         registry.gauge("net", "endpoints", fn=lambda: len(self._endpoints))
 
     # -- routing control (exercised by the SDN controller) ---------------

@@ -190,12 +190,12 @@ class MultiSequencer(Node):
     def instrument(self, registry) -> None:
         """Register this sequencer's live counters as pull-gauges."""
         registry.gauge(self.address, "packets_stamped",
-                       fn=lambda: self.packets_stamped)
+                       fn=lambda: self.packets_stamped, monotone=True)
         registry.gauge(self.address, "epoch", fn=lambda: self.epoch)
         registry.gauge(self.address, "groups_stamped",
                        fn=lambda: len(self.counters))
         registry.gauge(self.address, "stamp_wakeups",
-                       fn=lambda: self.stamp_wakeups)
+                       fn=lambda: self.stamp_wakeups, monotone=True)
 
     def service_time_for(self, packet: Packet) -> float:
         return self.profile.per_packet_service

@@ -9,6 +9,10 @@
   critical path, and exports Chrome trace-event / Perfetto JSON.
 - :mod:`repro.obs.metrics` — :class:`MetricsRegistry` of counters,
   gauges, and log-bucketed histograms keyed by (component, name).
+- :mod:`repro.obs.sampler` — :class:`MetricsSampler` snapshots a
+  registry periodically (on runtime timers) into a JSONL time-series.
+- :mod:`repro.obs.recorder` — :class:`FlightRecorder`, an always-on
+  bounded ring of recent trace events that dumps to JSONL on failure.
 
 All strictly opt-in: with no tracer attached the simulator's hot
 paths pay one ``is not None`` check per packet.
@@ -20,6 +24,16 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     nearest_rank_index,
+)
+from repro.obs.recorder import (
+    DEFAULT_CAPACITY,
+    FlightRecorder,
+    load_recorder_dump,
+)
+from repro.obs.sampler import (
+    MetricsSampler,
+    load_series,
+    summarize_series,
 )
 from repro.obs.spans import (
     PHASES,
@@ -44,6 +58,12 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "nearest_rank_index",
+    "DEFAULT_CAPACITY",
+    "FlightRecorder",
+    "load_recorder_dump",
+    "MetricsSampler",
+    "load_series",
+    "summarize_series",
     "PHASES",
     "Span",
     "SpanForest",

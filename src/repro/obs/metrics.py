@@ -62,13 +62,22 @@ class Counter:
 
 class Gauge:
     """A point-in-time value: either set directly or pulled from a
-    callable at snapshot time."""
+    callable at snapshot time.
 
-    __slots__ = ("_value", "_fn")
+    ``monotone=True`` declares the value non-decreasing over a run — a
+    counter exposed through the pull interface (``packets_sent``,
+    ``events_processed``...). The metrics sampler uses the declaration
+    to emit per-interval deltas and rates for such series; plain gauges
+    (heap size, queue depth) are sampled as point values only.
+    """
 
-    def __init__(self, fn: Optional[Callable[[], float]] = None) -> None:
+    __slots__ = ("_value", "_fn", "monotone")
+
+    def __init__(self, fn: Optional[Callable[[], float]] = None,
+                 monotone: bool = False) -> None:
         self._value = 0.0
         self._fn = fn
+        self.monotone = monotone
 
     def set(self, value: float) -> None:
         self._value = value
@@ -194,11 +203,12 @@ class MetricsRegistry:
         return self._get_or_create(component, name, Counter)
 
     def gauge(self, component: str, name: str,
-              fn: Optional[Callable[[], float]] = None) -> Gauge:
+              fn: Optional[Callable[[], float]] = None,
+              monotone: bool = False) -> Gauge:
         key = (component, name)
         existing = self._instruments.get(key)
         if existing is None:
-            existing = Gauge(fn)
+            existing = Gauge(fn, monotone=monotone)
             self._instruments[key] = existing
             return existing
         # Type-check before touching the instrument: assigning ``_fn``
@@ -209,6 +219,8 @@ class MetricsRegistry:
                             f"{type(existing).__name__}")
         if fn is not None:
             existing._fn = fn  # re-wiring after a rebuild is allowed
+        if monotone:
+            existing.monotone = True
         return existing
 
     def histogram(self, component: str, name: str,
@@ -227,6 +239,15 @@ class MetricsRegistry:
     # -- introspection ------------------------------------------------------
     def components(self) -> list[str]:
         return sorted({component for component, _ in self._instruments})
+
+    def instruments(self) -> list[tuple[str, str, object]]:
+        """Sorted ``(component, name, instrument)`` triples — the raw
+        instruments, for consumers (the metrics sampler) that need more
+        than :meth:`snapshot`'s rendered values (e.g. the ``monotone``
+        flag on gauges)."""
+        return [(component, name, instrument)
+                for (component, name), instrument
+                in sorted(self._instruments.items())]
 
     def snapshot(self) -> dict[str, dict[str, object]]:
         """``{component: {name: value}}`` with gauges sampled now and

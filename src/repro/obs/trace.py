@@ -58,10 +58,28 @@ def _payload_name(packet) -> str:
 
 
 class Tracer:
-    """Collects :class:`TraceEvent` records in simulation-time order."""
+    """Collects :class:`TraceEvent` records in trace-clock order.
 
-    def __init__(self, clock: Optional[Callable[[], float]] = None):
+    ``clock`` supplies timestamps; it must be the owning runtime's
+    monotonic clock (simulated seconds on the simulator, the asyncio
+    loop's clock on the UDP backend) so span phase arithmetic stays
+    exact — never wall-clock ``time.time()``, which can step. Use
+    :meth:`repro.runtime.interface.Runtime.attach_tracer` to get the
+    binding right by construction.
+
+    ``recorder`` mirrors every recorded event into a
+    :class:`repro.obs.recorder.FlightRecorder` ring; ``retain=False``
+    additionally turns off the unbounded ``events`` list so *only* the
+    ring holds events — the always-on black-box configuration for long
+    real-transport runs (``export``/``select``/``len`` then see an
+    empty trace; the ring is dumped via the recorder instead).
+    """
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None,
+                 recorder: Optional[Any] = None, retain: bool = True):
         self.clock = clock or (lambda: 0.0)
+        self.recorder = recorder
+        self.retain = retain
         self.events: list[TraceEvent] = []
         self._causes = itertools.count(1)
         # Per-link transmit bookkeeping for reorder detection: packets
@@ -80,7 +98,10 @@ class Tracer:
                 raise ValueError(f"{key!r} is a reserved trace field")
         event = TraceEvent(ts=self.clock(), kind=kind, node=node,
                            cause=cause, data=data)
-        self.events.append(event)
+        if self.retain:
+            self.events.append(event)
+        if self.recorder is not None:
+            self.recorder.append(event)
         return event
 
     # -- packet lifecycle (called from repro.net.network) -------------------
@@ -195,8 +216,14 @@ def load_trace(path: str) -> list[dict[str, Any]]:
 
 
 def _as_dicts(events: Iterable) -> list[dict[str, Any]]:
-    """Accept TraceEvent objects or already-flat dicts uniformly."""
-    return [e.to_dict() if isinstance(e, TraceEvent) else e for e in events]
+    """Accept TraceEvent objects or already-flat dicts uniformly.
+
+    Non-event metadata lines (e.g. a flight-recorder dump header, which
+    has no ``kind``) are dropped so every trace consumer can read a
+    recorder dump exactly like a full trace export.
+    """
+    flat = [e.to_dict() if isinstance(e, TraceEvent) else e for e in events]
+    return [e for e in flat if "kind" in e]
 
 
 def summarize_trace(events: Iterable) -> dict[str, Any]:

@@ -145,6 +145,23 @@ class _NodeProtocol(asyncio.DatagramProtocol):
     def datagram_received(self, data: bytes, addr) -> None:
         self.runtime._on_datagram(self.address, data)
 
+    def error_received(self, exc: OSError) -> None:
+        self.runtime.socket_errors += 1
+
+
+class _EgressProtocol(asyncio.DatagramProtocol):
+    """Send-side protocol: asyncio's DatagramTransport never raises
+    EAGAIN from ``sendto`` (it buffers internally and retries), so
+    kernel-reported errors — ICMP port-unreachable, buffer exhaustion —
+    surface asynchronously through ``error_received``. Counting them is
+    the only honest way to observe send failures on this transport."""
+
+    def __init__(self, runtime: "AsyncioUdpRuntime"):
+        self.runtime = runtime
+
+    def error_received(self, exc: OSError) -> None:
+        self.runtime.socket_errors += 1
+
 
 class AsyncioUdpRuntime(Runtime):
     """Runtime over real UDP sockets on loopback, driven by asyncio."""
@@ -194,7 +211,19 @@ class AsyncioUdpRuntime(Runtime):
         self.frames_sent = 0
         #: Actual datagrams written to the socket.
         self.datagrams_sent = 0
+        #: Synchronous ``sendto`` failures (OSError raised in-line).
+        self.send_errors = 0
+        #: Asynchronous socket errors the kernel reported after the
+        #: fact (``error_received``: ICMP unreachable, ENOBUFS...).
+        self.socket_errors = 0
         self.tracer = None
+        # Health instrumentation, attached by instrument(); each hot
+        # path pays one ``is not None`` check while unattached.
+        self._hist_datagram_bytes = None
+        self._hist_batch_depth = None
+        self._hist_loop_lag = None
+        self._lag_probe_interval = 0.005
+        self._lag_probe_expected: Optional[float] = None
 
     # -- clock / scheduling / randomness -----------------------------------
     @property
@@ -311,8 +340,7 @@ class AsyncioUdpRuntime(Runtime):
             return
         self.frames_sent += 1
         if self.batch_frames <= 1:
-            self.datagrams_sent += 1
-            self._egress.sendto(data, (self.host, port))
+            self._sendto(data, (self.host, port))
             return
         # Batching: park the frame on the destination's queue and drain
         # every queue in one call_soon callback, so all frames queued
@@ -332,20 +360,31 @@ class AsyncioUdpRuntime(Runtime):
         limit = self.batch_frames
         for port, frames in queues.items():
             addr = (self.host, port)
+            if self._hist_batch_depth is not None:
+                self._hist_batch_depth.record(len(frames))
             chunk: list[bytes] = []
             chunk_bytes = 0
             for frame in frames:
                 if chunk and (len(chunk) >= limit
                               or chunk_bytes + len(frame) > _MAX_DATAGRAM_BYTES):
-                    self.datagrams_sent += 1
-                    egress.sendto(encode_datagram(chunk), addr)
+                    self._sendto(encode_datagram(chunk), addr)
                     chunk = []
                     chunk_bytes = 0
                 chunk.append(frame)
                 chunk_bytes += len(frame)
             if chunk:
-                self.datagrams_sent += 1
-                egress.sendto(encode_datagram(chunk), addr)
+                self._sendto(encode_datagram(chunk), addr)
+
+    def _sendto(self, data: bytes, addr: tuple[str, int]) -> None:
+        """Single datagram egress point: accounting, size histogram,
+        and synchronous-error counting all live here."""
+        self.datagrams_sent += 1
+        if self._hist_datagram_bytes is not None:
+            self._hist_datagram_bytes.record(len(data))
+        try:
+            self._egress.sendto(data, addr)
+        except OSError:
+            self.send_errors += 1
 
     # -- receiving ---------------------------------------------------------
     def _on_datagram(self, address: Address, data: bytes) -> None:
@@ -364,6 +403,61 @@ class AsyncioUdpRuntime(Runtime):
                 self.tracer.packet_deliver(packet)
             node.deliver(packet)
 
+    # -- observability -----------------------------------------------------
+    def instrument(self, registry) -> None:
+        """Register this runtime's health metrics with ``registry``.
+
+        Counter-style plain ints are exposed as monotone pull gauges
+        (zero hot-path cost); three push histograms capture the shape
+        eRPC says matters on commodity UDP — datagram sizes, batch
+        queue depths, and event-loop lag (scheduled-vs-actual callback
+        latency, the real-transport analog of simulated-time exactness).
+        """
+        registry.gauge("udp", "packets_sent",
+                       lambda: self.packets_sent, monotone=True)
+        registry.gauge("udp", "packets_delivered",
+                       lambda: self.packets_delivered, monotone=True)
+        registry.gauge("udp", "packets_dropped",
+                       lambda: self.packets_dropped, monotone=True)
+        registry.gauge("udp", "decode_errors",
+                       lambda: self.decode_errors, monotone=True)
+        registry.gauge("udp", "fanout_copies",
+                       lambda: self.fanout_copies, monotone=True)
+        registry.gauge("udp", "frames_sent",
+                       lambda: self.frames_sent, monotone=True)
+        registry.gauge("udp", "datagrams_sent",
+                       lambda: self.datagrams_sent, monotone=True)
+        registry.gauge("udp", "send_errors",
+                       lambda: self.send_errors, monotone=True)
+        registry.gauge("udp", "socket_errors",
+                       lambda: self.socket_errors, monotone=True)
+        registry.gauge("udp", "endpoints", lambda: len(self._endpoints))
+        registry.gauge(
+            "udp", "egress_buffer_bytes",
+            lambda: (self._egress.get_write_buffer_size()
+                     if self._egress is not None else 0))
+        # Datagrams are 64 B .. 64 KB: a coarser base bucket keeps the
+        # histogram readable in that range.
+        self._hist_datagram_bytes = registry.histogram(
+            "udp", "datagram_bytes", scale=64.0)
+        self._hist_batch_depth = registry.histogram(
+            "udp", "batch_queue_depth", scale=1.0)
+        self._hist_loop_lag = registry.histogram("runtime", "loop_lag")
+        if self._started and not self._closed:
+            self._arm_lag_probe()
+
+    def _arm_lag_probe(self) -> None:
+        self._lag_probe_expected = self.now + self._lag_probe_interval
+        self.aloop.call_later(self._lag_probe_interval, self._lag_probe_fire)
+
+    def _lag_probe_fire(self) -> None:
+        if self._closed or self._hist_loop_lag is None:
+            return
+        expected = self._lag_probe_expected
+        if expected is not None:
+            self._hist_loop_lag.record(max(0.0, self.now - expected))
+        self._arm_lag_probe()
+
     # -- lifecycle ---------------------------------------------------------
     async def _open_endpoint(self, address: Address) -> None:
         sock = self._socks.get(address)
@@ -378,7 +472,7 @@ class AsyncioUdpRuntime(Runtime):
         egress.setblocking(False)
         egress.bind((self.host, 0))
         self._egress, _ = await self.aloop.create_datagram_endpoint(
-            asyncio.DatagramProtocol, sock=egress)
+            lambda: _EgressProtocol(self), sock=egress)
         for address in list(self._endpoints):
             await self._open_endpoint(address)
 
@@ -394,8 +488,9 @@ class AsyncioUdpRuntime(Runtime):
             port = self._ports.get(dst)
             if port is not None:
                 self.frames_sent += 1
-                self.datagrams_sent += 1
-                self._egress.sendto(data, (self.host, port))
+                self._sendto(data, (self.host, port))
+        if self._hist_loop_lag is not None:
+            self._arm_lag_probe()
 
     def stop(self) -> None:
         """Close every transport and the event loop (irreversible)."""

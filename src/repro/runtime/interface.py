@@ -158,6 +158,26 @@ class Runtime:
         """Point the groupcast route at a sequencer (None = black hole)."""
         raise NotImplementedError
 
+    # -- observability -----------------------------------------------------
+    def attach_tracer(self, tracer: Any = None) -> Any:
+        """Attach a :class:`repro.obs.trace.Tracer` clocked off *this*
+        runtime's monotonic clock.
+
+        Rebinding ``tracer.clock`` here — rather than trusting whatever
+        clock the tracer was built with — makes the span-arithmetic
+        invariant hold by construction: every timestamp in a trace
+        comes from :attr:`now`, so phase durations telescope exactly
+        and can never go negative under wall-clock steps. Passing no
+        tracer creates a fresh one. Returns the attached tracer.
+        """
+        from repro.obs.trace import Tracer
+
+        if tracer is None:
+            tracer = Tracer()
+        tracer.clock = lambda: self.now
+        self.tracer = tracer
+        return tracer
+
     # -- lifecycle ---------------------------------------------------------
     def start(self) -> None:
         """Bring the transport up (no-op for the simulator)."""

@@ -293,11 +293,12 @@ class EventLoop:
         event dispatch hot path is untouched."""
         registry.gauge("sim", "now", fn=lambda: self.now)
         registry.gauge("sim", "events_processed",
-                       fn=lambda: self.events_processed)
+                       fn=lambda: self.events_processed, monotone=True)
         registry.gauge("sim", "events_pending", fn=lambda: self.pending)
         registry.gauge("sim", "heap_size", fn=lambda: len(self._heap))
+        registry.gauge("sim", "dead_entries", fn=lambda: self._dead)
         registry.gauge("sim", "heap_compactions",
-                       fn=lambda: self.compactions)
+                       fn=lambda: self.compactions, monotone=True)
 
     def run_until_idle(self, max_events: int = 10_000_000) -> None:
         """Drain the queue completely (bounded by ``max_events``)."""

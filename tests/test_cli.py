@@ -140,3 +140,101 @@ def test_write_csv_overwrite(tmp_path):
     write_csv(str(target), ["x"], [[2]])
     rows = list(csv.reader(open(target)))
     assert rows == [["x"], ["2"]]
+
+
+# -- observability subcommands (stats, drop breakdown, CI gates) -----------
+
+def test_sim_metrics_out_exports_series(tmp_path, capsys):
+    series = tmp_path / "series.jsonl"
+    code = main(["--system", "eris", "--workload", "srw",
+                 "--shards", "2", "--clients", "5", "--keys", "100",
+                 "--warmup", "0.002", "--duration", "0.005",
+                 "--metrics-out", str(series)])
+    assert code == 0
+    assert "metrics series" in capsys.readouterr().out
+    from repro.obs import load_series
+    meta, samples = load_series(str(series))
+    assert meta["backend"] == "sim"
+    assert samples
+    # Deterministic simulated timestamps, not wall clock.
+    assert samples[0]["t"] < 1.0
+
+
+def test_stats_renders_series_tables(tmp_path, capsys):
+    series = tmp_path / "series.jsonl"
+    main(["--system", "eris", "--workload", "srw",
+          "--shards", "2", "--clients", "5", "--keys", "100",
+          "--warmup", "0.002", "--duration", "0.005",
+          "--metrics-out", str(series)])
+    capsys.readouterr()
+    assert main(["stats", str(series)]) == 0
+    out = capsys.readouterr().out
+    assert "counters" in out
+    assert "mean rate/s" in out
+    assert "events_processed" in out   # sim dispatch-rate counter
+    assert "gauges (final sample)" in out
+
+
+def test_stats_component_filter(tmp_path, capsys):
+    series = tmp_path / "series.jsonl"
+    main(["--system", "eris", "--workload", "srw",
+          "--shards", "2", "--clients", "5", "--keys", "100",
+          "--warmup", "0.002", "--duration", "0.005",
+          "--metrics-out", str(series)])
+    capsys.readouterr()
+    assert main(["stats", str(series), "--component", "sim"]) == 0
+    out = capsys.readouterr().out
+    assert "sim" in out and "fc" not in out
+    assert main(["stats", str(series), "--component", "bogus"]) == 2
+    assert "no component" in capsys.readouterr().err
+
+
+def test_stats_missing_file(capsys):
+    assert main(["stats", "/nonexistent/series.jsonl"]) == 2
+    assert "cannot read series" in capsys.readouterr().err
+
+
+def test_trace_summary_breaks_drops_down_by_reason(tmp_path, capsys):
+    trace = tmp_path / "droppy.jsonl"
+    code = main(["--system", "eris", "--workload", "srw",
+                 "--shards", "2", "--clients", "5", "--keys", "100",
+                 "--warmup", "0.002", "--duration", "0.005",
+                 "--drop-rate", "0.2", "--trace", str(trace)])
+    assert code == 0
+    capsys.readouterr()
+    assert main(["trace", str(trace)]) == 0
+    out = capsys.readouterr().out
+    # Random fabric loss is recorded per-reason and surfaced as
+    # drop.<reason> rows, not one collapsed count.
+    assert "drop.random-loss" in out
+
+
+def test_trace_analyze_require_attributed_gates_empty_traces(tmp_path,
+                                                             capsys):
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text('{"ts": 0.0, "kind": "send", "node": "a", '
+                     '"cause": 1, "msg": "X", "dst": "b"}\n')
+    assert main(["trace", "analyze", str(empty)]) == 0
+    capsys.readouterr()
+    assert main(["trace", "analyze", str(empty),
+                 "--require-attributed"]) == 1
+    assert "--require-attributed" in capsys.readouterr().err
+
+
+def test_trace_analyze_require_attributed_passes_real_trace(traced_run):
+    assert main(["trace", "analyze", str(traced_run),
+                 "--require-attributed"]) == 0
+
+
+def test_udpsmoke_parser_accepts_observability_flags():
+    from repro.harness.cli import build_udpsmoke_parser
+
+    args = build_udpsmoke_parser().parse_args(
+        ["--trace", "t.jsonl", "--metrics-out", "m.jsonl",
+         "--metrics-interval", "0.01", "--recorder", "fr.jsonl",
+         "--recorder-capacity", "512"])
+    assert args.trace == "t.jsonl"
+    assert args.metrics_out == "m.jsonl"
+    assert args.metrics_interval == 0.01
+    assert args.recorder == "fr.jsonl"
+    assert args.recorder_capacity == 512

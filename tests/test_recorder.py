@@ -1,0 +1,202 @@
+"""Flight recorder: bounded ring semantics, tracer wiring, and the
+auto-dump path that fires when a §6.7 checker fails.
+
+The recorder is the always-on black box of real-transport runs: it must
+cost nothing when disabled, stay O(1)/bounded when enabled, and leave a
+readable JSONL window on disk exactly when something goes wrong.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import InvariantViolation
+from repro.obs import (
+    FlightRecorder,
+    Tracer,
+    load_recorder_dump,
+    load_trace,
+    summarize_trace,
+)
+from repro.obs.trace import TraceEvent
+
+
+def _event(i: int) -> TraceEvent:
+    return TraceEvent(ts=float(i), kind="tick", node="n", cause=i)
+
+
+# -- ring semantics --------------------------------------------------------
+
+def test_ring_below_capacity_keeps_everything_in_order():
+    rec = FlightRecorder(capacity=8)
+    for i in range(5):
+        rec.append(_event(i))
+    assert len(rec) == 5
+    assert rec.dropped == 0
+    assert [e.cause for e in rec.events()] == [0, 1, 2, 3, 4]
+
+
+def test_ring_wraparound_at_capacity_keeps_last_n_oldest_first():
+    rec = FlightRecorder(capacity=4)
+    for i in range(11):
+        rec.append(_event(i))
+    assert len(rec) == 4
+    assert rec.appended == 11
+    assert rec.dropped == 7
+    assert [e.cause for e in rec.events()] == [7, 8, 9, 10]
+
+
+def test_ring_exactly_at_capacity_boundary():
+    rec = FlightRecorder(capacity=3)
+    for i in range(3):
+        rec.append(_event(i))
+    assert rec.dropped == 0
+    assert [e.cause for e in rec.events()] == [0, 1, 2]
+    rec.append(_event(3))
+    assert rec.dropped == 1
+    assert [e.cause for e in rec.events()] == [1, 2, 3]
+
+
+def test_ring_never_allocates_beyond_preallocated_capacity():
+    rec = FlightRecorder(capacity=16)
+    for i in range(1000):
+        rec.append(_event(i))
+    assert len(rec._ring) == 16
+
+
+def test_disabled_recorder_retains_nothing():
+    rec = FlightRecorder(capacity=8, enabled=False)
+    before = list(rec._ring)
+    for i in range(20):
+        rec.append(_event(i))
+    assert len(rec) == 0
+    assert rec.appended == 0
+    assert rec.events() == []
+    # Allocation-free off path: the preallocated ring is untouched.
+    assert rec._ring == before
+
+
+def test_clear_resets_the_window():
+    rec = FlightRecorder(capacity=4)
+    for i in range(9):
+        rec.append(_event(i))
+    rec.clear()
+    assert len(rec) == 0 and rec.dropped == 0
+    rec.append(_event(42))
+    assert [e.cause for e in rec.events()] == [42]
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        FlightRecorder(capacity=0)
+
+
+# -- tracer wiring ---------------------------------------------------------
+
+def test_tracer_mirrors_events_into_the_ring():
+    rec = FlightRecorder(capacity=8)
+    tracer = Tracer(recorder=rec)
+    tracer.record("apply", "r0", cause=1, slot=7)
+    assert len(tracer.events) == 1
+    assert len(rec) == 1
+    assert rec.events()[0] is tracer.events[0]
+
+
+def test_ring_only_tracer_retains_no_unbounded_list():
+    """retain=False is the always-on configuration for long runs: the
+    ring is the only place events land, so memory stays bounded no
+    matter how long the run is."""
+    rec = FlightRecorder(capacity=4)
+    tracer = Tracer(recorder=rec, retain=False)
+    for i in range(100):
+        tracer.record("tick", "n", cause=i)
+    assert tracer.events == []
+    assert len(tracer) == 0
+    assert len(rec) == 4
+    assert [e.cause for e in rec.events()] == [96, 97, 98, 99]
+
+
+# -- dump format -----------------------------------------------------------
+
+def test_dump_roundtrip_with_header(tmp_path):
+    rec = FlightRecorder(capacity=4)
+    for i in range(6):
+        rec.append(_event(i))
+    path = str(tmp_path / "dump.jsonl")
+    count = rec.dump(path, reason="test failure", context={"run": "x"})
+    assert count == 4
+    header, events = load_recorder_dump(path)
+    assert header["reason"] == "test failure"
+    assert header["capacity"] == 4
+    assert header["recorded"] == 4
+    assert header["dropped"] == 2
+    assert header["run"] == "x"
+    assert [e["cause"] for e in events] == [2, 3, 4, 5]
+
+
+def test_dump_is_readable_by_trace_tooling(tmp_path):
+    """The header line must not break trace consumers: load_trace +
+    summarize_trace read a dump exactly like a full export."""
+    rec = FlightRecorder(capacity=8)
+    tracer = Tracer(recorder=rec, retain=False)
+    tracer.record("send", "c0", cause=1, msg="TxnRequest", dst="r0")
+    tracer.record("deliver", "r0", cause=1, src="c0", msg="TxnRequest")
+    path = str(tmp_path / "dump.jsonl")
+    rec.dump(path, reason="window")
+    summary = summarize_trace(load_trace(path))
+    assert summary["events"] == 2
+    assert summary["sends"] == 1
+    assert summary["delivers"] == 1
+
+
+def test_load_recorder_dump_rejects_plain_trace(tmp_path):
+    path = str(tmp_path / "plain.jsonl")
+    with open(path, "w") as handle:
+        handle.write(json.dumps({"ts": 0.0, "kind": "send", "node": "a",
+                                 "cause": 1}) + "\n")
+    with pytest.raises(ValueError):
+        load_recorder_dump(path)
+
+
+# -- auto-dump through run_all_checks --------------------------------------
+
+def _append(node, shard, index, seq, txn, participants=(0, 1)):
+    """A minimal log_append event (same shape test_trace_checkers uses)."""
+    return dict(kind="log_append", node=node, shard=shard, index=index,
+                entry_kind="txn", slot=[shard, 1, seq], txn=txn,
+                participants=list(participants))
+
+
+def test_run_all_checks_dumps_recorder_on_violation(tmp_path):
+    """When a trace-backed checker raises, the ring must land on disk
+    before the violation propagates."""
+    from repro.harness.checkers import run_all_checks
+
+    rec = FlightRecorder(capacity=16)
+    tracer = Tracer(recorder=rec)
+    # Two replicas of shard 0 disagree at the same log position: the
+    # trace-backed replica-consistency checker fires.
+    for event in (_append("r0.0", 0, 1, 1, "1:1"),
+                  _append("r0.1", 0, 1, 2, "1:9")):
+        kind = event.pop("kind")
+        node = event.pop("node")
+        tracer.record(kind, node, **event)
+    path = str(tmp_path / "fr.jsonl")
+    with pytest.raises(InvariantViolation):
+        run_all_checks(trace=tracer, recorder=rec, recorder_path=path)
+    header, events = load_recorder_dump(path)
+    assert header["origin"] == "run_all_checks"
+    assert header["recorded"] == len(rec)
+    assert {e["kind"] for e in events} == {"log_append"}
+
+
+def test_run_all_checks_leaves_no_dump_when_checks_pass(tmp_path):
+    from repro.harness.checkers import run_all_checks
+
+    rec = FlightRecorder(capacity=16)
+    tracer = Tracer(recorder=rec)
+    event = _append("r0.0", 0, 1, 1, "1:1", participants=(0,))
+    tracer.record(event.pop("kind"), event.pop("node"), **event)
+    path = tmp_path / "fr.jsonl"
+    run_all_checks(trace=tracer, recorder=rec, recorder_path=str(path))
+    assert not path.exists()

@@ -1,0 +1,207 @@
+"""Metrics sampler: periodic registry snapshots into a JSONL series.
+
+The sampler rides the owning runtime's timers, so under the simulator
+the cadence is simulated-deterministic; entry shapes (monotone deltas
+and rates, point gauges, NaN-free histogram snapshots) are pinned here
+because ``stats`` and the byte-stability determinism test depend on
+them.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.net.network import NetConfig, Network
+from repro.obs import (
+    MetricsRegistry,
+    MetricsSampler,
+    load_series,
+    summarize_series,
+)
+from repro.sim.event_loop import EventLoop
+
+
+def make_runtime():
+    loop = EventLoop()
+    net = Network(loop, NetConfig(jitter=0.0))
+    return loop, net
+
+
+def test_monotone_series_has_value_delta_rate():
+    loop, net = make_runtime()
+    registry = MetricsRegistry()
+    count = [0]
+    registry.gauge("comp", "ops", fn=lambda: count[0], monotone=True)
+    sampler = MetricsSampler(net, registry, interval=0.1)
+    sampler.start()
+
+    def work():
+        count[0] += 5
+    for i in range(1, 5):
+        loop.schedule(i * 0.1 - 0.01, work)
+    loop.run(until=0.45)
+    sampler.stop()
+
+    entries = [s["metrics"]["comp"]["ops"] for s in sampler.samples]
+    assert [e["v"] for e in entries] == [5, 10, 15, 20, 20]
+    # Per-interval deltas: 5 ops per 0.1s tick, none in the closing
+    # partial interval.
+    assert [e["d"] for e in entries] == [5, 5, 5, 5, 0]
+    assert entries[0]["r"] == pytest.approx(50.0)
+    assert entries[-1]["r"] == 0.0
+
+
+def test_plain_gauge_sampled_as_point_value():
+    loop, net = make_runtime()
+    registry = MetricsRegistry()
+    depth = [3]
+    registry.gauge("comp", "queue_depth", fn=lambda: depth[0])
+    sampler = MetricsSampler(net, registry, interval=0.1)
+    sampler.start()
+    loop.schedule(0.05, lambda: depth.__setitem__(0, 9))
+    loop.run(until=0.15)
+    sampler.stop()
+    values = [s["metrics"]["comp"]["queue_depth"] for s in sampler.samples]
+    assert values == [9, 9]
+
+
+def test_counter_instrument_gets_delta_treatment():
+    loop, net = make_runtime()
+    registry = MetricsRegistry()
+    counter = registry.counter("comp", "hits")
+    sampler = MetricsSampler(net, registry, interval=0.1)
+    sampler.start()
+    counter.inc(7)
+    loop.run(until=0.1)
+    sampler.stop()
+    entry = sampler.samples[0]["metrics"]["comp"]["hits"]
+    assert entry["v"] == 7 and entry["d"] == 7
+
+
+def test_empty_histogram_is_nan_free():
+    loop, net = make_runtime()
+    registry = MetricsRegistry()
+    registry.histogram("comp", "lat")
+    sampler = MetricsSampler(net, registry, interval=0.1)
+    sampler.start()
+    loop.run(until=0.1)
+    sampler.stop()
+    entry = sampler.samples[0]["metrics"]["comp"]["lat"]
+    assert entry == {"count": 0}
+    # The whole series must be strict JSON (no NaN tokens).
+    for sample in sampler.samples:
+        json.loads(json.dumps(sample, allow_nan=False))
+
+
+def test_populated_histogram_snapshot_in_series():
+    loop, net = make_runtime()
+    registry = MetricsRegistry()
+    hist = registry.histogram("comp", "lat")
+    for v in (1e-6, 2e-6, 100e-6):
+        hist.record(v)
+    sampler = MetricsSampler(net, registry, interval=0.1)
+    sampler.start()
+    loop.run(until=0.1)
+    sampler.stop()
+    entry = sampler.samples[0]["metrics"]["comp"]["lat"]
+    assert entry["count"] == 3
+    assert not any(isinstance(v, float) and math.isnan(v)
+                   for v in entry.values())
+
+
+def test_baseline_captured_at_start_not_construction():
+    """Counts accumulated before start() must not appear as a burst in
+    the first interval's delta beyond what actually happened after the
+    baseline — the baseline is taken at start()."""
+    loop, net = make_runtime()
+    registry = MetricsRegistry()
+    count = [100]  # pre-existing total before sampling begins
+    registry.gauge("comp", "ops", fn=lambda: count[0], monotone=True)
+    sampler = MetricsSampler(net, registry, interval=0.1)
+    sampler.start()
+    count[0] += 2
+    loop.run(until=0.1)
+    sampler.stop()
+    entry = sampler.samples[0]["metrics"]["comp"]["ops"]
+    assert entry["v"] == 102 and entry["d"] == 2
+
+
+def test_stop_takes_a_closing_sample():
+    loop, net = make_runtime()
+    registry = MetricsRegistry()
+    registry.gauge("comp", "x", fn=lambda: 1.0)
+    sampler = MetricsSampler(net, registry, interval=10.0)
+    sampler.start()
+    loop.run(until=0.01)  # shorter than one interval
+    sampler.stop()
+    assert len(sampler.samples) == 1
+
+
+def test_export_roundtrip(tmp_path):
+    loop, net = make_runtime()
+    registry = MetricsRegistry()
+    net.instrument(registry)
+    sampler = MetricsSampler(net, registry, interval=0.05)
+    sampler.start()
+    loop.run(until=0.2)
+    sampler.stop()
+    path = str(tmp_path / "series.jsonl")
+    count = sampler.export(path)
+    meta, samples = load_series(path)
+    assert count == len(samples) == len(sampler.samples)
+    assert meta["interval"] == 0.05
+    assert meta["backend"] == "sim"
+    assert [s["seq"] for s in samples] == list(range(len(samples)))
+
+
+def test_summarize_series_shapes(tmp_path):
+    loop, net = make_runtime()
+    registry = MetricsRegistry()
+    count = [0]
+    registry.gauge("c", "ops", fn=lambda: count[0], monotone=True)
+    registry.gauge("c", "depth", fn=lambda: 4)
+    hist = registry.histogram("c", "lat")
+    hist.record(5e-6)
+    sampler = MetricsSampler(net, registry, interval=0.1)
+    sampler.start()
+    loop.schedule(0.05, lambda: count.__setitem__(0, 30))
+    loop.run(until=0.2)
+    sampler.stop()
+    report = summarize_series(
+        {"interval": 0.1, "backend": "sim"},
+        sampler.samples)
+    rows = {(r["component"], r["name"]): r for r in report["rows"]}
+    assert rows[("c", "ops")]["kind"] == "rate"
+    assert rows[("c", "ops")]["total"] == 30
+    assert rows[("c", "ops")]["rate_peak"] == pytest.approx(300.0)
+    assert rows[("c", "depth")] == {"component": "c", "name": "depth",
+                                    "kind": "gauge", "last": 4}
+    assert rows[("c", "lat")]["kind"] == "hist"
+    assert rows[("c", "lat")]["count"] == 1
+    assert report["span"]["backend"] == "sim"
+
+
+def test_interval_must_be_positive():
+    _, net = make_runtime()
+    with pytest.raises(ValueError):
+        MetricsSampler(net, MetricsRegistry(), interval=0.0)
+
+
+def test_sim_event_loop_health_gauges():
+    """The dispatch-health instrumentation the tentpole adds for the
+    sim backend: heap size, dead-entry count, and (monotone) dispatch
+    counters all visible through the registry."""
+    loop, net = make_runtime()
+    registry = MetricsRegistry()
+    loop.instrument(registry)
+    timer_evt = loop.schedule(1.0, lambda: None)
+    loop.schedule(0.01, lambda: None)
+    loop.cancel(timer_evt)
+    snap = registry.snapshot()["sim"]
+    assert snap["heap_size"] == 2
+    assert snap["dead_entries"] == 1
+    assert snap["events_pending"] == 1
+    loop.run(until=0.02)
+    snap = registry.snapshot()["sim"]
+    assert snap["events_processed"] == 1
