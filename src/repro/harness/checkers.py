@@ -36,11 +36,19 @@ from repro.harness.cluster import Cluster
 from repro.obs.trace import TraceEvent, Tracer, load_trace
 
 
+def _eris_like(replica) -> bool:
+    """Checker admission: a real replica object, or a rehydrated
+    multi-process :class:`~repro.harness.snapshot.SnapshotReplica`
+    (marked ``eris_like``) exposing the same checker-facing surface."""
+    return isinstance(replica, ErisReplica) or \
+        getattr(replica, "eris_like", False)
+
+
 def _live_dl(shard: int, replicas) -> ErisReplica:
     """The live replica that is DL in the *highest* view among live
     replicas — a crashed old DL may still believe it leads its view."""
     live = [r for r in replicas
-            if isinstance(r, ErisReplica) and not r.crashed]
+            if _eris_like(r) and not r.crashed]
     if not live:
         raise InvariantViolation(f"shard {shard} has no live replicas")
     top_view = max(r.view_num for r in live)
@@ -117,8 +125,7 @@ def check_replica_consistency(cluster: Cluster) -> None:
     """Within each shard: logs are prefix-consistent; stores of fully
     caught-up replicas match the DL's."""
     for shard, replicas in cluster.replicas.items():
-        eris = [r for r in replicas if isinstance(r, ErisReplica)
-                and not r.crashed]
+        eris = [r for r in replicas if _eris_like(r) and not r.crashed]
         if not eris:
             continue
         dl = _live_dl(shard, replicas)

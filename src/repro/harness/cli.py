@@ -195,6 +195,21 @@ def build_udpsmoke_parser() -> argparse.ArgumentParser:
                              "when a check fails or the run crashes)")
     parser.add_argument("--recorder-capacity", type=int, default=4096,
                         metavar="N", help="flight-recorder ring size")
+    parser.add_argument("--processes", choices=("single", "per-node"),
+                        default="single",
+                        help="'single' runs everything in this process; "
+                             "'per-node' spawns one OS process per "
+                             "replica/sequencer/controller/FC via the "
+                             "cluster launcher (driver hosts the clients)")
+    parser.add_argument("--run-dir", metavar="DIR",
+                        help="per-node mode: directory for worker logs, "
+                             "trace/metrics shards, and recorder dumps "
+                             "(default: a fresh temp directory)")
+    parser.add_argument("--timer-slack", type=float, default=None,
+                        metavar="SECS",
+                        help="per-node mode: coalesce timer wakeups onto "
+                             "a SECS-wide grid (default 0.5ms; 0 "
+                             "disables)")
     return parser
 
 
@@ -292,23 +307,49 @@ def udpsmoke_main(argv: Sequence[str]) -> int:
 
     args = build_udpsmoke_parser().parse_args(argv)
     try:
-        result = run_udp_smoke(
-            n_shards=args.shards, n_replicas=args.replicas,
-            n_clients=args.clients, min_commits=args.min_commits,
-            timeout=args.timeout, workload=args.workload,
-            distributed_fraction=args.distributed, n_keys=args.keys,
-            seed=args.seed, chain=args.chain, wire=args.wire,
-            batch=args.batch, trace_path=args.trace,
-            metrics_path=args.metrics_out,
-            metrics_interval=args.metrics_interval,
-            recorder_path=args.recorder,
-            recorder_capacity=args.recorder_capacity)
+        if args.processes == "per-node":
+            from repro.harness.mp_smoke import (
+                DEFAULT_TIMER_SLACK,
+                run_udp_smoke_mp,
+            )
+            result = run_udp_smoke_mp(
+                n_shards=args.shards, n_replicas=args.replicas,
+                n_clients=args.clients, min_commits=args.min_commits,
+                timeout=args.timeout, workload=args.workload,
+                distributed_fraction=args.distributed, n_keys=args.keys,
+                seed=args.seed, chain=args.chain, wire=args.wire,
+                batch=args.batch, run_dir=args.run_dir,
+                trace=bool(args.trace), metrics=bool(args.metrics_out),
+                metrics_interval=args.metrics_interval,
+                recorder_capacity=args.recorder_capacity,
+                timer_slack=(DEFAULT_TIMER_SLACK
+                             if args.timer_slack is None
+                             else args.timer_slack))
+        else:
+            result = run_udp_smoke(
+                n_shards=args.shards, n_replicas=args.replicas,
+                n_clients=args.clients, min_commits=args.min_commits,
+                timeout=args.timeout, workload=args.workload,
+                distributed_fraction=args.distributed, n_keys=args.keys,
+                seed=args.seed, chain=args.chain, wire=args.wire,
+                batch=args.batch, trace_path=args.trace,
+                metrics_path=args.metrics_out,
+                metrics_interval=args.metrics_interval,
+                recorder_path=args.recorder,
+                recorder_capacity=args.recorder_capacity)
     except (ExperimentError, InvariantViolation) as exc:
         print(f"udp smoke: FAILED\n  {exc}", file=sys.stderr)
-        print(f"  flight recorder dump (last events before the "
-              f"failure): {args.recorder}", file=sys.stderr)
+        if args.processes == "per-node":
+            print("  per-process logs and recorder dumps are in the "
+                  "run directory named above", file=sys.stderr)
+        else:
+            print(f"  flight recorder dump (last events before the "
+                  f"failure): {args.recorder}", file=sys.stderr)
         return 1
-    rows = [["backend", "asyncio-udp (loopback)"],
+    backend = ("asyncio-udp-mp (process per node)"
+               if args.processes == "per-node"
+               else "asyncio-udp (loopback)")
+    rows = [["backend", backend],
             ["shards x replicas", f"{args.shards} x {args.replicas}"],
             ["wire / batch", f"{args.wire} / {args.batch}"],
             ["chain", args.chain or "off"],
@@ -321,6 +362,9 @@ def udpsmoke_main(argv: Sequence[str]) -> int:
             ["frames / datagrams", f"{result.frames_sent} / "
                                    f"{result.datagrams_sent}"],
             ["invariant checks", "OK"]]
+    if result.processes > 1:
+        rows.insert(1, ["processes", result.processes])
+        rows.insert(2, ["run dir", result.run_dir])
     if result.trace_path:
         rows.append(["trace", f"{result.trace_events} events -> "
                               f"{result.trace_path}"])
@@ -497,6 +541,38 @@ def analyze_main(argv: Sequence[str]) -> int:
     return 0
 
 
+def build_merge_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.harness.cli trace merge",
+        description="Merge per-process trace shards (written by "
+                    "udpsmoke --processes per-node) into one "
+                    "timestamp-sorted stream that `trace` / `trace "
+                    "analyze` consume like a single-process trace.")
+    parser.add_argument("shards", nargs="+",
+                        help="per-process trace shard files (JSONL)")
+    parser.add_argument("-o", "--out", required=True, metavar="PATH",
+                        help="write the merged JSONL stream here")
+    return parser
+
+
+def merge_main(argv: Sequence[str]) -> int:
+    """``trace merge``: shard files -> one merged stream."""
+    from repro.obs import merge_trace_shards
+
+    args = build_merge_parser().parse_args(argv)
+    try:
+        events = merge_trace_shards(args.shards, args.out)
+    except OSError as exc:
+        print(f"error: cannot read shard: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"merged {len(args.shards)} shards ({len(events)} events) "
+          f"-> {args.out}")
+    return 0
+
+
 def trace_main(argv: Sequence[str]) -> int:
     """The ``trace`` subcommand: summarize (and optionally check) a
     previously exported JSONL trace."""
@@ -506,6 +582,8 @@ def trace_main(argv: Sequence[str]) -> int:
     argv = list(argv)
     if argv and argv[0] == "analyze":
         return analyze_main(argv[1:])
+    if argv and argv[0] == "merge":
+        return merge_main(argv[1:])
     args = build_trace_parser().parse_args(argv)
     try:
         events = load_trace(args.path)
@@ -558,6 +636,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return trace_main(argv[1:])
     if argv and argv[0] == "udpsmoke":
         return udpsmoke_main(argv[1:])
+    if argv and argv[0] == "node":
+        from repro.runtime.worker import worker_main
+        return worker_main(argv[1:])
     if argv and argv[0] == "stats":
         return stats_main(argv[1:])
     parser = build_parser()

@@ -265,12 +265,15 @@ def _make_stores(cluster: Cluster, per_shard: int) -> None:
 
 
 def _build_eris(cluster: Cluster, oum: bool = False) -> None:
+    from repro.harness.topology import eris_topology
+
     config = cluster.config
     _make_stores(cluster, config.n_replicas)
-    shard_addrs = {
-        shard: [f"eris-r{shard}.{i}" for i in range(config.n_replicas)]
-        for shard in range(config.n_shards)
-    }
+    # The address plan is shared with the multi-process launcher: both
+    # deployments derive the same names from the same config, so the
+    # strings inside packets are identical either way.
+    topology = eris_topology(config)
+    shard_addrs = topology.shard_addrs
     for shard, addrs in shard_addrs.items():
         cluster.network.groups.define(shard, addrs)
     profile = _PROFILES[config.sequencer_profile]()
@@ -278,26 +281,26 @@ def _build_eris(cluster: Cluster, oum: bool = False) -> None:
     chain_addrs: list[str] = []
     if not oum and config.sequencer_chain:
         from repro.net.chainseq import ChainSequencerNode
-        for i in range(config.sequencer_chain):
-            node = ChainSequencerNode(f"chain{i}", cluster.network, profile,
+        for address in topology.chain_addrs:
+            node = ChainSequencerNode(address, cluster.network, profile,
                                       stamp_batch=config.sequencer_batch,
                                       pipeline=config.chain_pipeline)
             chain_addrs.append(node.address)
             cluster.sequencers.append(node)
     standbys: list[MultiSequencer] = []
-    for i in range(max(1, config.n_sequencers)):
-        standby = sequencer_cls(f"seq{i}", cluster.network, profile,
+    for address in topology.standby_addrs:
+        standby = sequencer_cls(address, cluster.network, profile,
                                 stamp_batch=config.sequencer_batch)
         standbys.append(standby)
         cluster.sequencers.append(standby)
-    cluster.fc = FailureCoordinator("fc", cluster.network,
+    cluster.fc = FailureCoordinator(topology.fc_address, cluster.network,
                                     shards=shard_addrs)
     cluster.fc.msg_service_time = config.server_service_time
     if oum:
-        cluster.network.install_sequencer_route("seq0")
+        cluster.network.install_sequencer_route(topology.standby_addrs[0])
     else:
         cluster.controller = SDNController(
-            "controller", cluster.network,
+            topology.controller_address, cluster.network,
             sequencers=[s.address for s in standbys],
             config=config.controller,
             chain=chain_addrs or None)
@@ -309,7 +312,8 @@ def _build_eris(cluster: Cluster, oum: bool = False) -> None:
         replicas = []
         for index, address in enumerate(addrs):
             replica = ErisReplica(
-                address, cluster.network, shard, index, addrs, "fc",
+                address, cluster.network, shard, index, addrs,
+                topology.fc_address,
                 cluster.stores[shard][index], cluster.registry,
                 owns=cluster.partitioner.owns_fn(shard),
                 config=eris_config,
@@ -318,12 +322,25 @@ def _build_eris(cluster: Cluster, oum: bool = False) -> None:
             replicas.append(replica)
         cluster.replicas[shard] = replicas
 
-    shard_sizes = {shard: config.n_replicas
-                   for shard in range(config.n_shards)}
+    cluster._build_client = eris_client_factory(
+        cluster.network, topology.shard_sizes,
+        config.client_retry_timeout)
+
+
+def eris_client_factory(runtime, shard_sizes: dict[int, int],
+                        retry_timeout: float) -> Callable[[str],
+                                                          SystemClient]:
+    """address -> :class:`SystemClient` over an Eris deployment.
+
+    Shared by the single-process builder and the multi-process driver
+    (which hosts the clients in its own process): the submit closure —
+    independent txns straight to the client, general txns through the
+    :class:`GeneralTransactionManager` — is identical either way.
+    """
 
     def build_client(address: str) -> SystemClient:
-        node = ErisClient(address, cluster.network, shard_sizes,
-                          retry_timeout=config.client_retry_timeout)
+        node = ErisClient(address, runtime, shard_sizes,
+                          retry_timeout=retry_timeout)
         general = GeneralTransactionManager(node)
 
         def submit(op: WorkloadOp, done: DoneFn) -> None:
@@ -349,7 +366,7 @@ def _build_eris(cluster: Cluster, oum: bool = False) -> None:
 
         return SystemClient(submit, node)
 
-    cluster._build_client = build_client
+    return build_client
 
 
 def _build_eris_oum(cluster: Cluster) -> None:

@@ -11,6 +11,7 @@ differs. Used by ``python -m repro udpsmoke`` and the CI smoke job.
 
 from __future__ import annotations
 
+import signal
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -61,6 +62,37 @@ class SmokeResult:
     metrics_path: Optional[str] = None
     metrics_samples: int = 0
     recorder_dump: Optional[str] = None
+    #: OS processes that participated (1 = single-process; a
+    #: multi-process run counts the driver plus every worker).
+    processes: int = 1
+    run_dir: Optional[str] = None
+
+
+def smoke_cluster_config(n_shards: int = 2, n_replicas: int = 3,
+                         seed: int = 7, chain: int = 0,
+                         wire: str = "ewc1",
+                         batch: int = 1) -> ClusterConfig:
+    """The canonical UDP-smoke :class:`ClusterConfig`.
+
+    Shared between the single-process path (:func:`build_udp_cluster`)
+    and the per-node workers of a multi-process run — every process
+    must derive the identical config so address names, group
+    membership, and protocol timers agree across the cluster."""
+    from repro.net.network import NetConfig
+    return ClusterConfig(
+        system="eris", backend="udp", n_shards=n_shards,
+        n_replicas=n_replicas, seed=seed,
+        # Real sockets cost real CPU; the simulator's synthetic
+        # service-time model would only double-charge it.
+        server_service_time=0.0, execution_cost=0.0,
+        client_retry_timeout=100e-3,
+        sequencer_chain=chain,
+        net=NetConfig(wire=wire),
+        sequencer_batch=batch, chain_pipeline=batch,
+        udp_batch_frames=batch,
+        eris=ErisConfig(reply_coalesce=batch, **_UDP_ERIS),
+        controller=ControllerConfig(**_UDP_CONTROLLER),
+    )
 
 
 def build_udp_cluster(n_shards: int = 2, n_replicas: int = 3,
@@ -76,24 +108,46 @@ def build_udp_cluster(n_shards: int = 2, n_replicas: int = 3,
     registry = ProcedureRegistry()
     register_ycsb_procedures(registry)
     partitioner = Partitioner(n_shards)
-    from repro.net.network import NetConfig
-    config = ClusterConfig(
-        system="eris", backend="udp", n_shards=n_shards,
-        n_replicas=n_replicas, seed=seed,
-        # Real sockets cost real CPU; the simulator's synthetic
-        # service-time model would only double-charge it.
-        server_service_time=0.0, execution_cost=0.0,
-        client_retry_timeout=100e-3,
-        sequencer_chain=chain,
-        net=NetConfig(wire=wire),
-        sequencer_batch=batch, chain_pipeline=batch,
-        udp_batch_frames=batch,
-        eris=ErisConfig(reply_coalesce=batch, **_UDP_ERIS),
-        controller=ControllerConfig(**_UDP_CONTROLLER),
-    )
+    config = smoke_cluster_config(n_shards=n_shards,
+                                  n_replicas=n_replicas, seed=seed,
+                                  chain=chain, wire=wire, batch=batch)
     return build_cluster(config, registry, partitioner,
                          loader=lambda stores, p: load_ycsb(stores, p,
                                                             n_keys))
+
+
+class GracefulInterrupt:
+    """Flag-based SIGINT/SIGTERM handling for real-socket runs.
+
+    A first signal sets :attr:`triggered` — the run loop notices, stops
+    issuing work, drains, and still exports the recorder, metrics, and
+    trace before exiting. A second SIGINT falls through to the default
+    handler (KeyboardInterrupt) so a wedged run can be killed. Use as a
+    context manager; previous handlers are restored on exit."""
+
+    def __init__(self, signals=(signal.SIGINT, signal.SIGTERM)):
+        self.signals = signals
+        self.triggered: Optional[str] = None
+        self._previous: dict = {}
+
+    def _handle(self, signum: int, _frame) -> None:
+        if self.triggered is not None and signum == signal.SIGINT:
+            raise KeyboardInterrupt
+        self.triggered = signal.Signals(signum).name
+
+    def __enter__(self) -> "GracefulInterrupt":
+        for sig in self.signals:
+            try:
+                self._previous[sig] = signal.signal(sig, self._handle)
+            except ValueError:
+                # Not the main thread (e.g. pytest-xdist worker):
+                # interruption handling is a no-op there.
+                pass
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        for sig, previous in self._previous.items():
+            signal.signal(sig, previous)
 
 
 def run_udp_smoke(n_shards: int = 2, n_replicas: int = 3,
@@ -176,14 +230,18 @@ def run_udp_smoke(n_shards: int = 2, n_replicas: int = 3,
         if stats["committed"] < min_commits:
             issue(client)
 
-    for client in clients:
-        issue(client)
+    interrupt = GracefulInterrupt()
+    with interrupt:
+        for client in clients:
+            issue(client)
 
-    reached = runtime.run_until(
-        lambda: stats["committed"] >= min_commits, timeout=timeout)
-    # Let in-flight replies, syncs, and FC traffic drain so replica
-    # state is quiescent before the checkers read it.
-    runtime.run_for(3 * _UDP_ERIS["sync_interval"])
+        reached = runtime.run_until(
+            lambda: (stats["committed"] >= min_commits
+                     or interrupt.triggered is not None),
+            timeout=timeout)
+        # Let in-flight replies, syncs, and FC traffic drain so replica
+        # state is quiescent before the checkers read it.
+        runtime.run_for(3 * _UDP_ERIS["sync_interval"])
     wall = runtime.now - start
 
     result = SmokeResult(
@@ -195,6 +253,19 @@ def run_udp_smoke(n_shards: int = 2, n_replicas: int = 3,
         datagrams_sent=runtime.datagrams_sent,
     )
     try:
+        if interrupt.triggered is not None:
+            # Interrupted run: exit cleanly with whatever completed —
+            # the finally block still exports metrics and trace, and
+            # the recorder window is preserved for post-mortem.
+            result.notes.append(
+                f"interrupted by {interrupt.triggered}; checks skipped")
+            result.checks_passed = False
+            if len(recorder):
+                recorder.dump(recorder_path,
+                              reason=f"interrupted: {interrupt.triggered}",
+                              context={"origin": "run_udp_smoke"})
+                result.recorder_dump = recorder_path
+            return result
         if not reached:
             raise ExperimentError(
                 f"only {stats['committed']}/{min_commits} transactions "

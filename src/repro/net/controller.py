@@ -48,14 +48,30 @@ class SequencerPong:
     nonce: int
 
 
-# Teach sequencers to answer pings (kept here so the data-plane module
-# stays free of control-plane message types).
+@dataclass(frozen=True)
+class EpochInstall:
+    """Wire form of ``MultiSequencer.install_epoch``: in a
+    multi-process deployment the controller cannot reach a remote
+    sequencer object, so epoch installation travels as a message."""
+
+    epoch: int
+
+
+# Teach sequencers to answer pings and wire-delivered epoch installs
+# (kept here so the data-plane module stays free of control-plane
+# message types).
 def _on_ping(self: MultiSequencer, src: Address, msg: SequencerPing,
              packet: Packet) -> None:
     self.send(src, SequencerPong(msg.nonce))
 
 
+def _on_epoch_install(self: MultiSequencer, src: Address,
+                      msg: EpochInstall, packet: Packet) -> None:
+    self.install_epoch(msg.epoch)
+
+
 MultiSequencer.on_SequencerPing = _on_ping
+MultiSequencer.on_EpochInstall = _on_epoch_install
 
 
 @dataclass
@@ -122,9 +138,8 @@ class SDNController(Node):
             self._install_chain(self.chain, counters={})
             self.network.install_sequencer_route(self.chain[0])
         else:
-            seq = self._active_sequencer()
-            seq.install_epoch(self.current_epoch)
-            self.network.install_sequencer_route(seq.address)
+            self._install_epoch_at(self.active_address, self.current_epoch)
+            self.network.install_sequencer_route(self.active_address)
         self._ping_timer.start()
 
     def stop(self) -> None:
@@ -138,6 +153,15 @@ class SDNController(Node):
 
     def _active_sequencer(self) -> MultiSequencer:
         return self.network.endpoint(self.active_address)
+
+    def _install_epoch_at(self, address: Address, epoch: int) -> None:
+        """Install an epoch into a sequencer: directly when it lives in
+        this process (the simulator and the single-process UDP runtime
+        — behaviour unchanged), over the wire when it is remote."""
+        if self.network.has_endpoint(address):
+            self.network.endpoint(address).install_epoch(epoch)
+        else:
+            self.send(address, EpochInstall(epoch))
 
     # -- health checking ----------------------------------------------------
     def _ping(self) -> None:
@@ -198,9 +222,8 @@ class SDNController(Node):
     def _complete_failover(self, next_index: int) -> None:
         self.active_index = next_index
         self.current_epoch += 1
-        replacement = self._active_sequencer()
-        replacement.install_epoch(self.current_epoch)
-        self.network.install_sequencer_route(replacement.address)
+        self._install_epoch_at(self.active_address, self.current_epoch)
+        self.network.install_sequencer_route(self.active_address)
         self.failovers += 1
         self._failing_over = False
 
@@ -222,8 +245,12 @@ class SDNController(Node):
 
     def _install_chain(self, members: list[Address],
                        counters: dict) -> None:
-        """Directly install a configuration at bootstrap, before any
-        traffic is admitted (repairs use the message protocol)."""
+        """Install a configuration at bootstrap, before any traffic is
+        admitted (repairs use the message protocol): directly for
+        members in this process, over the wire for remote ones — a
+        multi-process deployment admits traffic only after every worker
+        has started, so the bootstrap installs arrive before any
+        groupcast reaches the chain."""
         from repro.net.chainseq import ChainInstall
 
         self.chain_version += 1
@@ -232,7 +259,10 @@ class SDNController(Node):
                                members=tuple(members),
                                counters=dict(counters))
         for member in members:
-            self.network.endpoint(member).apply_install(install)
+            if self.network.has_endpoint(member):
+                self.network.endpoint(member).apply_install(install)
+            else:
+                self.send(member, install)
         self._reset_chain_pings()
 
     def _begin_chain_repair(self, dead: list[Address]) -> None:

@@ -46,9 +46,11 @@ from repro.obs.spans import (
     export_chrome_trace,
 )
 from repro.obs.trace import (
+    CAUSE_ID_STRIDE,
     TraceEvent,
     Tracer,
     load_trace,
+    merge_trace_shards,
     summarize_trace,
 )
 
@@ -72,8 +74,10 @@ __all__ = [
     "analyze_trace",
     "build_spans",
     "export_chrome_trace",
+    "CAUSE_ID_STRIDE",
     "TraceEvent",
     "Tracer",
     "load_trace",
+    "merge_trace_shards",
     "summarize_trace",
 ]

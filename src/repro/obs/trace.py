@@ -35,6 +35,12 @@ from typing import Any, Callable, Iterable, Optional
 #: Reserved top-level keys of the flat event schema.
 RESERVED_KEYS = ("ts", "kind", "node", "cause")
 
+#: Causal-id space per process rank in a multi-process run: rank *r*
+#: assigns ids in ``(r*STRIDE, (r+1)*STRIDE]``. 2**40 ids per process
+#: is unreachable in practice, so merged shards are collision-free by
+#: construction (and :func:`merge_trace_shards` verifies it anyway).
+CAUSE_ID_STRIDE = 1 << 40
+
 
 @dataclass
 class TraceEvent:
@@ -73,15 +79,26 @@ class Tracer:
     ring holds events — the always-on black-box configuration for long
     real-transport runs (``export``/``select``/``len`` then see an
     empty trace; the ring is dumped via the recorder instead).
+
+    ``cause_base`` offsets the causal-id counter. A multi-process run
+    gives every process a disjoint id space (rank ×
+    :data:`CAUSE_ID_STRIDE`), so per-process trace shards can be merged
+    into one stream without causal-id collisions — ids assigned by one
+    process travel inside packets and show up in other shards, and they
+    must never alias an id another process assigned independently.
     """
 
     def __init__(self, clock: Optional[Callable[[], float]] = None,
-                 recorder: Optional[Any] = None, retain: bool = True):
+                 recorder: Optional[Any] = None, retain: bool = True,
+                 cause_base: int = 0):
+        if cause_base < 0:
+            raise ValueError(f"cause_base must be >= 0: {cause_base}")
         self.clock = clock or (lambda: 0.0)
         self.recorder = recorder
         self.retain = retain
+        self.cause_base = cause_base
         self.events: list[TraceEvent] = []
-        self._causes = itertools.count(1)
+        self._causes = itertools.count(cause_base + 1)
         # Per-link transmit bookkeeping for reorder detection: packets
         # between one (src, dst) pair are numbered at transmit time; a
         # delivery whose number is below the link's high-water mark was
@@ -212,6 +229,61 @@ def load_trace(path: str) -> list[dict[str, Any]]:
                 raise ValueError(
                     f"{path}:{lineno}: malformed trace line: {exc}"
                 ) from exc
+    return events
+
+
+def merge_trace_shards(paths: list[str],
+                       out_path: Optional[str] = None
+                       ) -> list[dict[str, Any]]:
+    """Combine per-process JSONL trace shards into one stream.
+
+    Events are sorted by timestamp (all processes of a multi-process
+    run share CLOCK_MONOTONIC, so cross-shard timestamps are directly
+    comparable); ties keep shard order, then within-shard order, so the
+    merge is deterministic. Causal-id collision-freedom is verified:
+    every ``send`` event *assigns* its causal id in the emitting
+    process, so the same id assigned in two different shards means two
+    processes shared an id space — a :class:`ValueError`, because the
+    merged stream would silently fuse unrelated message lifecycles.
+
+    With ``out_path`` the merged stream is also written as JSONL
+    (temp-file + rename, like ``Tracer.export``), readable by every
+    trace consumer — ``trace``, ``trace analyze``, the trace-backed
+    §6.7 checkers.
+    """
+    merged: list[tuple[float, int, int, dict[str, Any]]] = []
+    assigned: dict[int, str] = {}
+    for shard_index, path in enumerate(paths):
+        for line_index, event in enumerate(load_trace(path)):
+            if "kind" not in event:   # recorder-dump header line
+                continue
+            if event["kind"] == "send":
+                cause = event.get("cause", -1)
+                if cause is not None and cause >= 0:
+                    owner = assigned.get(cause)
+                    if owner is not None and owner != path:
+                        raise ValueError(
+                            f"causal id collision: id {cause} assigned "
+                            f"by both {owner} and {path} (shards were "
+                            f"generated without disjoint cause_base "
+                            f"id spaces)")
+                    assigned[cause] = path
+            merged.append((event["ts"], shard_index, line_index, event))
+    merged.sort(key=lambda item: item[:3])
+    events = [event for _ts, _shard, _line, event in merged]
+    if out_path is not None:
+        tmp = f"{out_path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp, "w") as handle:
+                for event in events:
+                    handle.write(json.dumps(event) + "\n")
+            os.replace(tmp, out_path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
     return events
 
 

@@ -190,10 +190,11 @@ class AsyncioUdpRuntime(Runtime):
         self._transports: dict[Address, asyncio.DatagramTransport] = {}
         self._egress: Optional[asyncio.DatagramTransport] = None
         self._pending_sends: list[tuple[Address, bytes]] = []
-        # Per-destination-port frame queues, drained by one call_soon
-        # callback per loop iteration so every frame queued within a
-        # callback burst shares a datagram (batch_frames > 1 only).
-        self._frame_queues: dict[int, list[bytes]] = {}
+        # Per-destination frame queues (keyed by resolved socket
+        # address), drained by one call_soon callback per loop
+        # iteration so every frame queued within a callback burst
+        # shares a datagram (batch_frames > 1 only).
+        self._frame_queues: dict[tuple[str, int], list[bytes]] = {}
         self._flush_scheduled = False
         self._started = False
         self._closed = False
@@ -313,9 +314,8 @@ class AsyncioUdpRuntime(Runtime):
             for group in packet.groupcast.groups:
                 self.fan_out(packet, self.groups.members(group))
             return
-        if self.sequencer_address is None or not self.has_endpoint(
-            self.sequencer_address
-        ):
+        if (self.sequencer_address is None
+                or self._resolve(self.sequencer_address) is None):
             self._drop(packet, "no-sequencer-route")
             return
         self._transmit(packet.copy_to(self.sequencer_address))
@@ -325,41 +325,57 @@ class AsyncioUdpRuntime(Runtime):
         if self.tracer is not None:
             self.tracer.packet_drop(packet, reason)
 
-    def _transmit(self, packet: Packet) -> None:
-        port = self._ports.get(packet.dst)
+    def _resolve(self, dst: Optional[Address]) -> Optional[tuple[str, int]]:
+        """Logical address → socket address, or ``None`` if unknown.
+
+        The single place name resolution happens: this runtime knows
+        only its locally bound endpoints, while the multi-process
+        subclass overlays a remote host/port map distributed by the
+        launcher. Everything downstream (transmit, batching, pending
+        flush) is location-transparent."""
+        port = self._ports.get(dst)
         if port is None:
+            return None
+        return (self.host, port)
+
+    def _transmit(self, packet: Packet) -> None:
+        addr = self._resolve(packet.dst)
+        if addr is None:
             self._drop(packet, "dead-destination")
             return
         data = encode_packet(packet, self.wire)
         if self.tracer is not None:
             self.tracer.packet_tx(packet)
-        if self._egress is None:
+        if not self._egress_up():
             # Transport not up yet (e.g. the controller pings its
             # sequencers at build time); flushed by start().
             self._pending_sends.append((packet.dst, data))
             return
         self.frames_sent += 1
         if self.batch_frames <= 1:
-            self._sendto(data, (self.host, port))
+            self._sendto(data, addr)
             return
         # Batching: park the frame on the destination's queue and drain
         # every queue in one call_soon callback, so all frames queued
         # within the current callback burst (a sequencer wakeup, a
         # chain pipeline flush, a reply coalesce) share datagrams.
-        self._frame_queues.setdefault(port, []).append(data)
+        self._frame_queues.setdefault(addr, []).append(data)
         if not self._flush_scheduled:
             self._flush_scheduled = True
             self.aloop.call_soon(self._flush_frames)
 
+    def _egress_up(self) -> bool:
+        """Whether the send path is ready (subclasses with a different
+        egress mechanism override this alongside :meth:`_sendto`)."""
+        return self._egress is not None
+
     def _flush_frames(self) -> None:
         self._flush_scheduled = False
         queues, self._frame_queues = self._frame_queues, {}
-        egress = self._egress
-        if egress is None:  # stop() raced the callback
+        if not self._egress_up():  # stop() raced the callback
             return
         limit = self.batch_frames
-        for port, frames in queues.items():
-            addr = (self.host, port)
+        for addr, frames in queues.items():
             if self._hist_batch_depth is not None:
                 self._hist_batch_depth.record(len(frames))
             chunk: list[bytes] = []
@@ -485,10 +501,10 @@ class AsyncioUdpRuntime(Runtime):
         self.aloop.run_until_complete(self._open_all())
         pending, self._pending_sends = self._pending_sends, []
         for dst, data in pending:
-            port = self._ports.get(dst)
-            if port is not None:
+            addr = self._resolve(dst)
+            if addr is not None:
                 self.frames_sent += 1
-                self._sendto(data, (self.host, port))
+                self._sendto(data, addr)
         if self._hist_loop_lag is not None:
             self._arm_lag_probe()
 

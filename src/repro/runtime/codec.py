@@ -1143,6 +1143,7 @@ def _ensure_registry() -> None:
         # control plane
         controller.SequencerPing,
         controller.SequencerPong,
+        controller.EpochInstall,
         # chain-replicated sequencer
         chainseq.ChainForward,
         chainseq.ChainForwardBatch,
