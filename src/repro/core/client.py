@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 from repro.core.messages import (
+    FastReadReply,
     IndependentTxnRequest,
     ReconRead,
     ReconReply,
@@ -92,6 +93,8 @@ class ErisClient(Node):
         self.timedout_count = 0
         self.retry_count = 0
         self.recon_retry_count = 0
+        #: Transactions completed by a single-replica FastReadReply.
+        self.fast_read_count = 0
 
     # -- submission --------------------------------------------------------
     def next_txn_id(self) -> TxnId:
@@ -107,10 +110,13 @@ class ErisClient(Node):
         read_keys: frozenset = frozenset(),
         write_keys: frozenset = frozenset(),
         kind: str = "independent",
+        op_class: str = "generic",
         txn_id: Optional[TxnId] = None,
     ) -> TxnId:
         """Fire one independent transaction; ``callback`` runs when a
-        view-consistent quorum from every participant arrives."""
+        view-consistent quorum from every participant arrives (or, for
+        a READ_ONLY transaction the sequencer routed down the fast
+        path, when a single :class:`FastReadReply` does)."""
         txn = IndependentTransaction(
             txn_id=txn_id or self.next_txn_id(),
             proc=proc,
@@ -119,6 +125,7 @@ class ErisClient(Node):
             read_keys=read_keys,
             write_keys=write_keys,
             kind=kind,
+            op_class=op_class,
         )
         pending = _PendingTxn(
             txn=txn,
@@ -222,6 +229,41 @@ class ErisClient(Node):
                 "txn_complete", self.address,
                 txn=pending.txn.txn_id.label(), committed=committed,
                 timedout=False, retries=pending.retries)
+        pending.callback(outcome)
+
+    def on_FastReadReply(self, src: Address, msg: FastReadReply,
+                         packet: Packet) -> None:
+        """Single-replica completion of a clean READ_ONLY transaction.
+
+        No quorum is collected: the sequencer only forwarded the read
+        after its dirty-set check proved every committed conflicting
+        write is already applied at *every* replica, so one replica's
+        answer is authoritative. If the slow path already completed
+        this transaction (a retry raced the reply), the pending entry
+        is gone and the reply is ignored.
+        """
+        pending = self._pending.pop(msg.txn_id, None)
+        if pending is None:
+            return
+        if pending.timer is not None:
+            pending.timer.stop()
+        if msg.committed:
+            self.committed_count += 1
+        else:
+            self.aborted_count += 1
+        self.fast_read_count += 1
+        outcome = TxnOutcome(
+            txn_id=msg.txn_id,
+            committed=msg.committed,
+            results={msg.shard: msg.result},
+            latency=self.now - pending.start_time,
+            retries=pending.retries,
+        )
+        if self.tracer is not None:
+            self.tracer.record(
+                "txn_complete", self.address, txn=msg.txn_id.label(),
+                committed=msg.committed, timedout=False,
+                retries=pending.retries, fast_read=True)
         pending.callback(outcome)
 
     # -- reconnaissance reads (§7.1) ------------------------------------------

@@ -250,3 +250,78 @@ class SyncAck:
     epoch_num: int
     log_len: int
     sender: Address
+
+
+# -- coordination-free fast paths ----------------------------------------
+
+@dataclass(frozen=True)
+class CommutativeTxnRequest:
+    """Sequencer-rewritten envelope for a COMMUTATIVE transaction.
+
+    The sequencing element wraps the client's
+    :class:`IndependentTxnRequest` and attaches, per participant group,
+    the sequence number of the last *non-commutative* message it
+    stamped for that group (the reorder **barrier**). A replica that is
+    stalled on an ordering gap may execute the wrapped transaction
+    early — ahead of log order — once its in-order delivery point has
+    passed the barrier, because every skipped slot is then known to be
+    commutative with it. Log append and the client reply still happen
+    strictly in slot order.
+    """
+
+    txn: IndependentTransaction
+    #: ((group, barrier_seq), ...) aligned with the stamp's groups.
+    barriers: tuple = ()
+
+
+@dataclass(frozen=True)
+class AppliedUpto:
+    """Replica → sequencing element: execution watermark (dirty-set
+    clear rule).
+
+    Sent as an *unstamped* sequenced groupcast so it is routed to
+    whatever element currently stamps for the shard (the plain
+    sequencer, a standby after failover, or the chain head), which
+    absorbs it without assigning a sequence number. ``upto`` is the
+    highest sequence number of ``epoch`` this replica has fed to its
+    execution engine; because logs are epoch-monotone and in-epoch
+    sequence numbers are contiguous, one (epoch, seq) pair summarizes
+    the whole applied prefix.
+    """
+
+    shard: GroupId
+    epoch: int
+    upto: int
+    sender: Address
+
+
+@dataclass(frozen=True)
+class FastReadRequest:
+    """Sequencing element → one replica: serve a clean READ_ONLY
+    transaction without stamping it (Harmonia-style fast read).
+
+    Only sent when the dirty-set check passed: every in-flight write
+    conflicting with ``txn.read_keys`` has been applied by *all*
+    replicas of the shard, so any single replica's store already
+    reflects every committed conflicting write. ``min_epoch`` is the
+    sequencer's epoch at check time; a replica that has not reached it
+    must not serve the read.
+    """
+
+    txn: IndependentTransaction
+    min_epoch: int
+
+
+@dataclass(frozen=True)
+class FastReadReply:
+    """Replica → client: result of a fast read. A single reply
+    completes the transaction — no quorum is collected."""
+
+    txn_id: TxnId
+    shard: GroupId
+    committed: bool
+    result: Any
+    #: The serving replica's applied watermark when it executed the
+    #: read (its serialization point, recorded for the §6.7 checkers).
+    epoch_num: int
+    applied_seq: int

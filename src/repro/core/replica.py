@@ -17,6 +17,25 @@
 
 Replica state mirrors Figure 4: status, view-num, epoch-num, log,
 temp-drops, perm-drops, un-drops.
+
+Later PRs layered three default-off extensions over the Figure 4 core
+(the determinism digests pin the original behavior when they are off):
+
+- **Reply coalescing** (``reply_coalesce`` > 1): several TxnReplys to
+  one client merge into a TxnReplyBatch on a zero-delay wakeup.
+- **Fast reads** (``read_fast_path``): every replica periodically
+  reports its execution watermark to the sequencing element
+  (AppliedUpto), and serves clean READ_ONLY transactions the element
+  forwards without a stamp — single-replica service instead of the
+  §5.1 quorum, safe because the dirty-set check proved every committed
+  conflicting write is already executed at *every* replica.
+- **Commutative early-apply** (``commutative_apply``): while stalled
+  on an ordering gap, buffered COMMUTATIVE transactions whose reorder
+  barrier has passed execute ahead of log order — the one place this
+  replica deliberately relaxes the §3.2 in-order execution rule. The
+  at-most-once table (§6.1) makes the later in-order feed a no-op, and
+  log append plus client replies stay strictly in slot order, so
+  durability and the commit protocol are unchanged.
 """
 
 from __future__ import annotations
@@ -28,9 +47,13 @@ from typing import Any, Callable, Hashable, Optional
 from repro.core.engine import ExecutionEngine
 from repro.core.log import ErisLog, LogEntry, merge_logs, _stamp_hits
 from repro.core.messages import (
+    AppliedUpto,
+    CommutativeTxnRequest,
     EpochChangeReq,
     EpochState,
     EpochStateRequest,
+    FastReadReply,
+    FastReadRequest,
     FindTxn,
     HasTxn,
     IndependentTxnRequest,
@@ -58,8 +81,10 @@ from repro.net.libsequencer import MultiSequencedChannel, Upcall, UpcallKind
 from repro.net.message import Address, GroupId, MultiStamp, Packet
 from repro.net.network import Network
 from repro.net.oum import OUMSequencer
+from repro.errors import TransactionAborted
 from repro.store.kv import KVStore
-from repro.store.procedures import ProcedureRegistry
+from repro.store.procedures import ProcedureRegistry, TxnContext
+from repro.store.undo import UndoLog
 
 
 @dataclass
@@ -82,6 +107,16 @@ class ErisConfig:
     #: sends each reply immediately — the paper's per-txn reply path,
     #: pinned by the determinism digests.
     reply_coalesce: int = 1
+    #: Harmonia-style read fast path: periodically report the execution
+    #: watermark to the sequencing element and serve clean READ_ONLY
+    #: transactions from this single replica. Default-off (digest-
+    #: pinned); incompatible with oum_mode.
+    read_fast_path: bool = False
+    #: Execute buffered COMMUTATIVE transactions ahead of log order
+    #: once their reorder barrier has passed (§3.2 relaxation).
+    commutative_apply: bool = False
+    #: AppliedUpto reporting period; 0 means "use sync_interval".
+    watermark_interval: float = 0.0
 
 
 def _slot_fields(slot: SlotId) -> list:
@@ -177,6 +212,25 @@ class ErisReplica(Node):
         self._reply_flush_armed = False
         self.reply_batches_sent = 0
 
+        # Coordination-free fast paths (default-off; no timers or
+        # events are created unless the knobs are on, keeping the
+        # knob-off event schedule — and the determinism digests — byte
+        # identical).
+        self.fast_reads_served = 0
+        self.early_applies = 0
+        #: Commutative transactions applied ahead of log order whose
+        #: slot has not yet been fed in order. If an adopted log omits
+        #: one, the store silently contains an effect the log cannot
+        #: explain — _adopt_log forces a rebuild in that case.
+        self._early_unconfirmed: set[TxnId] = set()
+        self._watermark_timer = None
+        if self.config.read_fast_path and not self.config.oum_mode:
+            interval = self.config.watermark_interval \
+                or self.config.sync_interval
+            self._watermark_timer = self.periodic(interval,
+                                                  self._watermark_tick)
+            self._watermark_timer.start()
+
     # -- observability ----------------------------------------------------
     def _trace_append(self, entry: LogEntry) -> None:
         tracer = self.tracer
@@ -195,6 +249,7 @@ class ErisReplica(Node):
             return
         tracer.record("apply", self.address, shard=self.shard,
                       index=entry.index, entry_kind=entry.kind,
+                      slot=_slot_fields(entry.slot),
                       txn=_entry_txn(entry))
 
     def instrument(self, registry) -> None:
@@ -213,6 +268,10 @@ class ErisReplica(Node):
                        monotone=True)
         registry.gauge(component, "messages_processed",
                        fn=lambda: self.messages_processed, monotone=True)
+        registry.gauge(component, "fast_reads_served",
+                       fn=lambda: self.fast_reads_served, monotone=True)
+        registry.gauge(component, "early_applies",
+                       fn=lambda: self.early_applies, monotone=True)
 
     # -- roles ----------------------------------------------------------
     @property
@@ -241,6 +300,8 @@ class ErisReplica(Node):
         for upcall in self.channel.on_packet(packet):
             self._apply_upcall(upcall)
         self._drain()
+        if self.config.commutative_apply:
+            self._try_early_apply()
 
     def _apply_upcall(self, upcall: Upcall) -> None:
         if upcall.kind is UpcallKind.DELIVER:
@@ -337,6 +398,7 @@ class ErisReplica(Node):
         if entry.kind == "txn":
             self.busy(self.config.execution_cost)
             txn = entry.record.txn
+            self._early_unconfirmed.discard(txn.txn_id)
             index = entry.index
             if reply_to is not None:
                 self.engine.feed(
@@ -404,6 +466,140 @@ class ErisReplica(Node):
     def on_ReconRead(self, src: Address, msg: ReconRead,
                      packet: Packet) -> None:
         self.send(src, ReconReply(key=msg.key, value=self.store.get(msg.key)))
+
+    # -- coordination-free fast paths -----------------------------------------
+    def _applied_watermark(self) -> tuple[int, int]:
+        """(epoch, seq) through which this replica has *executed*.
+
+        Valid as a prefix summary because the log is epoch-monotone and
+        in-epoch sequence numbers are contiguous (perm-drops occupy
+        their slot as no-ops). When nothing of the channel's current
+        epoch has been fed yet, (current_epoch, 0) is only reported if
+        the replica is demonstrably caught up — otherwise the stale
+        last-fed position is reported and the sequencer's coverage
+        check simply fails, which is the safe direction.
+        """
+        if self._fed:
+            slot, _ = self._fed[-1]
+            if slot.epoch == self.channel.epoch:
+                return (slot.epoch, slot.seq)
+            if len(self._fed) == self.log.last_index \
+                    and not self._delivery_queue:
+                return (self.channel.epoch, 0)
+            return (slot.epoch, slot.seq)
+        if self.log.last_index == 0 and not self._delivery_queue:
+            return (self.channel.epoch, 0)
+        return (0, 0)
+
+    def _watermark_tick(self) -> None:
+        """Report the execution watermark to whatever element currently
+        stamps for this shard (dirty-set clear rule). Sent as an
+        unstamped sequenced groupcast so routing follows sequencer
+        failover; the element absorbs it without consuming a sequence
+        number."""
+        if self.crashed or self.status != "normal":
+            return
+        epoch, upto = self._applied_watermark()
+        self.send_groupcast((self.shard,), AppliedUpto(
+            shard=self.shard, epoch=epoch, upto=upto, sender=self.address))
+
+    def on_FastReadRequest(self, src: Address, msg: FastReadRequest,
+                           packet: Packet) -> None:
+        """Serve a clean READ_ONLY transaction from this replica alone.
+
+        The sequencing element only forwards a fast read after the
+        dirty-set check proved every committed write conflicting with
+        it is executed at *every* replica — in particular here — so the
+        local store already reflects them and a single reply is
+        authoritative (the read serializes at this replica's applied
+        prefix). A replica that lags the check's epoch, or is mid view
+        or epoch change, stays silent: the client's retry re-runs the
+        dirty-set check.
+        """
+        if self.crashed or self.status != "normal" \
+                or self.epoch_num < msg.min_epoch:
+            return
+        txn = msg.txn
+        undo = UndoLog()
+        ctx = TxnContext(self.store, shard=self.shard,
+                         owns=self.engine._owns, undo=undo)
+        try:
+            result = self.engine.registry.execute(txn.proc, ctx, txn.args)
+            committed = True
+        except TransactionAborted as abort:
+            undo.rollback(self.store)
+            result = abort.reason
+            committed = False
+        if ctx.write_set:
+            # The procedure wrote despite its READ_ONLY declaration —
+            # a workload bug. Roll back and refuse to answer; the
+            # client's retry takes the slow path once the write dirties
+            # its own keys.
+            undo.rollback(self.store)
+            if self.tracer is not None:
+                self.tracer.record("fast_read_refused", self.address,
+                                   shard=self.shard,
+                                   txn=txn.txn_id.label(),
+                                   reason="wrote-under-read-only")
+            return
+        self.busy(self.config.execution_cost)
+        self.fast_reads_served += 1
+        epoch, upto = self._applied_watermark()
+        if self.tracer is not None:
+            self.tracer.record("fast_read_serve", self.address,
+                               cause=packet.trace_id,
+                               shard=self.shard, txn=txn.txn_id.label(),
+                               committed=committed,
+                               asof=[epoch, upto])
+        self.send(txn.txn_id.client, FastReadReply(
+            txn_id=txn.txn_id, shard=self.shard, committed=committed,
+            result=result, epoch_num=epoch, applied_seq=upto))
+
+    def _try_early_apply(self) -> None:
+        """Apply buffered COMMUTATIVE transactions ahead of log order
+        (§3.2 relaxation; see DESIGN.md).
+
+        Eligible: a packet parked in the channel's reorder buffer —
+        i.e. behind an ordering gap — whose per-group barrier is below
+        the channel's in-order point, so every slot between them is
+        known commutative. Execution effects land now; the log append,
+        the client reply, and the fed record still happen in slot order
+        when the gap resolves, via the at-most-once table (§6.1).
+        """
+        if self.crashed or self.status != "normal":
+            return
+        engine = self.engine
+        channel = self.channel
+        group = channel.group
+        next_seq = channel.next_seq
+        for seq, packet in channel.buffered_packets():
+            payload = packet.payload
+            if not isinstance(payload, CommutativeTxnRequest):
+                continue
+            barrier = 0
+            for barrier_group, barrier_seq in payload.barriers:
+                if barrier_group == group:
+                    barrier = barrier_seq
+                    break
+            if barrier >= next_seq:
+                continue
+            txn = payload.txn
+            if self.config.oum_mode and self.shard not in txn.participants:
+                continue
+            if self._hits(packet.multistamp, self.perm_drops) \
+                    or self._blocked_by_temp_drop(packet.multistamp):
+                continue
+            if not engine.execute_early(txn):
+                continue
+            self.busy(self.config.execution_cost)
+            self.early_applies += 1
+            self._early_unconfirmed.add(txn.txn_id)
+            if self.tracer is not None:
+                self.tracer.record(
+                    "early_apply", self.address, shard=self.shard,
+                    txn=txn.txn_id.label(),
+                    slot=[group, packet.multistamp.epoch, seq],
+                    barrier=barrier, next_seq=next_seq)
 
     # -- drop recovery (§6.3) -------------------------------------------------
     def _start_recovery(self, slot: SlotId) -> None:
@@ -615,6 +811,7 @@ class ErisReplica(Node):
             if self.tracer is not None:
                 self._trace_apply(entry)
             if entry.kind == "txn":
+                self._early_unconfirmed.discard(entry.record.txn.txn_id)
                 self.engine.feed(entry)
         self.send(src, SyncAck(
             shard=self.shard, view_num=self.view_num,
@@ -873,6 +1070,17 @@ class ErisReplica(Node):
             or self._fed[i] != (entries[i].slot, entries[i].kind)
             for i in range(len(self._fed))
         )
+        if self._early_unconfirmed and not mismatch:
+            # A commutative transaction applied ahead of log order is
+            # only accounted for by a log that still contains it. If
+            # the adopted log dropped it (its slot was perm-dropped in
+            # the epoch change), the store holds an effect the fed
+            # prefix cannot explain — rebuild even though the fed
+            # prefix itself matches.
+            adopted_ids = {entry.record.txn.txn_id for entry in entries
+                           if entry.kind == "txn"}
+            mismatch = any(txn_id not in adopted_ids
+                           for txn_id in self._early_unconfirmed)
         self.log.replace(entries)
         if self.tracer is not None:
             self.tracer.record(
@@ -884,6 +1092,7 @@ class ErisReplica(Node):
             self.store.load(self.initial_snapshot)
             self.engine.reset()
             self._fed = []
+            self._early_unconfirmed.clear()
             if self.is_dl:
                 self._catch_up_engine(reply=False)
 
@@ -901,6 +1110,8 @@ class ErisReplica(Node):
         super().crash()
         self._sync_timer.stop()
         self._vc_timer.stop()
+        if self._watermark_timer is not None:
+            self._watermark_timer.stop()
         for recovery in self._recovering.values():
             if recovery.timer is not None:
                 recovery.timer.stop()

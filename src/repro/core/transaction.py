@@ -49,6 +49,12 @@ class IndependentTransaction:
 
     ``kind`` distinguishes ordinary independent transactions from the
     preliminary/conclusory halves of general transactions (§7.1).
+
+    ``op_class`` carries the invoked procedure's declared
+    :class:`repro.store.procedures.OpClass` to the sequencing element
+    and the replicas: ``read_only`` transactions are candidates for the
+    dirty-set read fast path, ``commutative`` ones for relaxed in-epoch
+    ordering. ``generic`` (the default) always takes the full path.
     """
 
     txn_id: TxnId
@@ -58,12 +64,23 @@ class IndependentTransaction:
     read_keys: frozenset = frozenset()
     write_keys: frozenset = frozenset()
     kind: str = "independent"  # independent | preliminary | conclusory
+    op_class: str = "generic"  # generic | commutative | read_only
 
     def __post_init__(self) -> None:
         if not self.participants:
             raise ValueError("transaction must have at least one participant")
         if len(set(self.participants)) != len(self.participants):
             raise ValueError(f"duplicate participants: {self.participants}")
+        if self.op_class not in ("generic", "commutative", "read_only"):
+            raise ValueError(f"unknown op_class: {self.op_class!r}")
+        if self.op_class == "read_only" and self.write_keys:
+            raise ValueError(
+                "read_only transaction declares write keys: "
+                f"{sorted(self.write_keys, key=repr)}")
+        if self.op_class != "generic" and self.kind != "independent":
+            raise ValueError(
+                f"{self.kind} transactions must be generic, "
+                f"got {self.op_class!r}")
 
     @property
     def is_distributed(self) -> bool:

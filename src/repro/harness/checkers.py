@@ -139,6 +139,7 @@ def check_replica_consistency(cluster: Cluster) -> None:
                         f"{(mine.slot, mine.kind)}, DL has "
                         f"{(ref.slot, ref.kind)}")
             if len(replica._fed) == len(reference) and \
+                    not getattr(replica, "_early_unconfirmed", ()) and \
                     replica.store.snapshot() != dl.store.snapshot():
                 raise InvariantViolation(
                     f"store divergence in shard {shard}: "
@@ -380,6 +381,140 @@ def check_trace_chain_no_stale_release(trace: TraceLike) -> None:
                 f"{repaired_version}")
 
 
+# -- coordination-free fast-path invariants --------------------------------
+#
+# These key on the ``fast_read`` / ``early_apply`` events the fast
+# paths emit (knobs on); on any other trace they are vacuous no-ops.
+# The sequencer's ``stamp`` events carry the ground truth they check
+# against: each stamped transaction's op-class and declared write set.
+
+def _fastpath_shard_members(events: list[dict]) -> dict[int, set[str]]:
+    """Shard -> every replica that ever appended or applied for it.
+    Pre-scanned over the whole trace so a replica that lags at the time
+    of a fast read still counts toward the coverage requirement."""
+    members: dict[int, set[str]] = {}
+    for event in events:
+        if event["kind"] in ("log_append", "apply"):
+            members.setdefault(event["shard"], set()).add(event["node"])
+    return members
+
+
+def check_trace_fast_reads(trace: TraceLike) -> None:
+    """No fast read observes a dirty key (§3 external consistency under
+    the Harmonia read path).
+
+    A ``fast_read`` event names the keys served and the shard. Walking
+    the trace in order: every earlier-stamped non-READ_ONLY transaction
+    whose declared write set intersects those keys — or whose write set
+    was undeclared (blind) — must already carry an ``apply`` event at
+    *every* non-crashed replica of the shard. Application at a later
+    epoch also covers (entering epoch e+1 means the FC-rebuilt log
+    resolved every epoch-e stamp as applied or permanently dropped, and
+    a perm-dropped write never committed).
+    """
+    events = _trace_events(trace)
+    members = _fastpath_shard_members(events)
+    #: group -> list of in-flight writes [epoch, seq, write_keys|None]
+    writes: dict[int, list] = {}
+    #: (group, node) -> highest applied (epoch, seq), lexicographic
+    applied: dict[tuple[int, str], tuple[int, int]] = {}
+    crashed: set[str] = set()
+
+    def covered(group: int, epoch: int, seq: int) -> bool:
+        need = members.get(group, set()) - crashed
+        return bool(need) and all(
+            applied.get((group, node), (0, 0)) >= (epoch, seq)
+            for node in need)
+
+    for event in events:
+        kind = event["kind"]
+        if kind == "crash":
+            crashed.add(event["node"])
+        elif kind == "stamp" and event.get("op_class") not in (None,
+                                                               "read_only"):
+            write_keys = event.get("write_keys") or None
+            for group, seq in event["stamps"]:
+                writes.setdefault(group, []).append(
+                    [event["epoch"], seq, write_keys])
+        elif kind == "apply":
+            _shard, epoch, seq = event["slot"]
+            key = (event["shard"], event["node"])
+            if (epoch, seq) > applied.get(key, (0, 0)):
+                applied[key] = (epoch, seq)
+        elif kind == "fast_read":
+            group = event["shard"]
+            read_keys = set(event["keys"])
+            in_flight = writes.get(group, [])
+            remaining = []
+            for record in in_flight:
+                epoch, seq, write_keys = record
+                if covered(group, epoch, seq):
+                    continue  # applied everywhere: no longer in flight
+                remaining.append(record)
+                if write_keys is not None and not read_keys & set(write_keys):
+                    continue  # disjoint declared write set: no conflict
+                raise InvariantViolation(
+                    f"dirty fast read: {event['node']} served txn "
+                    f"{event['txn']} keys {sorted(read_keys)} on shard "
+                    f"{group} while the "
+                    f"{'blind ' if write_keys is None else ''}write at "
+                    f"(epoch {epoch}, seq {seq}) was not yet applied at "
+                    f"every replica")
+            writes[group] = remaining
+
+
+def check_trace_commutative_applies(trace: TraceLike) -> None:
+    """Out-of-order application is confined to COMMUTATIVE transactions
+    behind their reorder barrier (§3.2 relaxation).
+
+    For every ``early_apply`` event: the applied transaction's stamped
+    op-class must be ``commutative``, and the barrier — both the one
+    the event records and the one recomputed from the stamp stream (the
+    last non-commutative stamp below the applied sequence number) —
+    must be below the replica's in-order point, so every jumped slot is
+    known commutative with the applied transaction.
+    """
+    events = _trace_events(trace)
+    op_classes: dict[str, str] = {}
+    #: (epoch, group) -> [(seq, op_class), ...] in stamp order
+    stamp_streams: dict[tuple[int, int], list[tuple[int, str]]] = {}
+    for event in events:
+        if event["kind"] != "stamp":
+            continue
+        op_class = event.get("op_class", "generic")
+        if event.get("txn") is not None:
+            op_classes[event["txn"]] = op_class
+        for group, seq in event["stamps"]:
+            stamp_streams.setdefault((event["epoch"], group), []).append(
+                (seq, op_class))
+    for event in events:
+        if event["kind"] != "early_apply":
+            continue
+        group, epoch, seq = event["slot"]
+        txn = event["txn"]
+        op_class = op_classes.get(txn)
+        if op_class != "commutative":
+            raise InvariantViolation(
+                f"non-commutative early apply: {event['node']} applied "
+                f"txn {txn} (stamped op-class {op_class!r}) out of order "
+                f"at (epoch {epoch}, group {group}, seq {seq})")
+        next_seq = event["next_seq"]
+        if event["barrier"] >= next_seq:
+            raise InvariantViolation(
+                f"early apply past its barrier: {event['node']} applied "
+                f"txn {txn} at seq {seq} with barrier "
+                f"{event['barrier']} >= in-order point {next_seq}")
+        true_barrier = max(
+            (s for s, oc in stamp_streams.get((epoch, group), ())
+             if s < seq and oc != "commutative"), default=0)
+        if true_barrier >= next_seq:
+            raise InvariantViolation(
+                f"early apply jumped a non-commutative slot: "
+                f"{event['node']} applied txn {txn} at seq {seq} over "
+                f"the non-commutative stamp at seq {true_barrier} "
+                f">= in-order point {next_seq}")
+
+
 def run_trace_checks(trace: TraceLike) -> None:
     """All trace-backed invariant checks on one event stream."""
     events = _trace_events(trace)
@@ -389,6 +524,8 @@ def run_trace_checks(trace: TraceLike) -> None:
     check_trace_chain_stamp_monotonicity(events)
     check_trace_chain_gapless_logs(events)
     check_trace_chain_no_stale_release(events)
+    check_trace_fast_reads(events)
+    check_trace_commutative_applies(events)
 
 
 def run_all_checks(cluster: Optional[Cluster] = None,

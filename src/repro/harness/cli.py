@@ -44,9 +44,13 @@ from repro.net.network import NetConfig
 from repro.sim.randomness import SplitRandom
 from repro.store import ProcedureRegistry
 from repro.workloads import (
+    CountersConfig,
+    CountersWorkload,
     Partitioner,
     YCSBConfig,
     YCSBWorkload,
+    load_counters,
+    register_counters_procedures,
     register_ycsb_procedures,
 )
 from repro.workloads.tpcc import (
@@ -59,7 +63,7 @@ from repro.workloads.tpcc import (
 from repro.workloads.tpcc.schema import TPCCScale
 from repro.workloads.ycsb import load_ycsb
 
-WORKLOADS = ("srw", "mrmw", "crmw", "tpcc")
+WORKLOADS = ("srw", "mrmw", "crmw", "tpcc", "counters")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -81,6 +85,23 @@ def build_parser() -> argparse.ArgumentParser:
                         help="TPC-C warehouses")
     parser.add_argument("--remote", type=float, default=0.10,
                         help="TPC-C remote fraction")
+    parser.add_argument("--read-fraction", type=float, default=0.5,
+                        help="counters: fraction of READ_ONLY point "
+                             "reads")
+    parser.add_argument("--commutative-fraction", type=float, default=0.4,
+                        help="counters: fraction of COMMUTATIVE "
+                             "increments/tag-unions (remainder are "
+                             "GENERIC resets)")
+    parser.add_argument("--read-fast-path", action="store_true",
+                        help="Eris only: serve clean READ_ONLY txns "
+                             "from a single replica via the "
+                             "sequencer's dirty-set (default off; "
+                             "see DESIGN.md)")
+    parser.add_argument("--commutative", action="store_true",
+                        help="Eris only: let replicas apply "
+                             "COMMUTATIVE txns out of order behind "
+                             "the sequencer's reorder barrier "
+                             "(default off)")
     parser.add_argument("--drop-rate", type=float, default=0.0)
     parser.add_argument("--chain", type=int, default=0, metavar="N",
                         help="front Eris with an N-node chain-replicated "
@@ -164,10 +185,18 @@ def build_udpsmoke_parser() -> argparse.ArgumentParser:
     parser.add_argument("--min-commits", type=int, default=50)
     parser.add_argument("--timeout", type=float, default=30.0,
                         help="real seconds to wait for --min-commits")
-    parser.add_argument("--workload", choices=("srw", "mrmw", "crmw"),
+    parser.add_argument("--workload",
+                        choices=("srw", "mrmw", "crmw", "counters"),
                         default="mrmw")
-    parser.add_argument("--distributed", type=float, default=0.5)
+    parser.add_argument("--distributed", type=float, default=0.5,
+                        help="fraction of multi-shard txns (counters: "
+                             "fraction of cross-shard increments)")
     parser.add_argument("--keys", type=int, default=200)
+    parser.add_argument("--fast-path", action="store_true",
+                        help="turn on both coordination-free knobs "
+                             "(Harmonia fast reads + commutative "
+                             "early apply); pairs with "
+                             "--workload counters")
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--chain", type=int, default=0, metavar="N",
                         help="front Eris with an N-node chain-replicated "
@@ -318,7 +347,8 @@ def udpsmoke_main(argv: Sequence[str]) -> int:
                 timeout=args.timeout, workload=args.workload,
                 distributed_fraction=args.distributed, n_keys=args.keys,
                 seed=args.seed, chain=args.chain, wire=args.wire,
-                batch=args.batch, run_dir=args.run_dir,
+                batch=args.batch, fast_path=args.fast_path,
+                run_dir=args.run_dir,
                 trace=bool(args.trace), metrics=bool(args.metrics_out),
                 metrics_interval=args.metrics_interval,
                 recorder_capacity=args.recorder_capacity,
@@ -332,7 +362,8 @@ def udpsmoke_main(argv: Sequence[str]) -> int:
                 timeout=args.timeout, workload=args.workload,
                 distributed_fraction=args.distributed, n_keys=args.keys,
                 seed=args.seed, chain=args.chain, wire=args.wire,
-                batch=args.batch, trace_path=args.trace,
+                batch=args.batch, fast_path=args.fast_path,
+                trace_path=args.trace,
                 metrics_path=args.metrics_out,
                 metrics_interval=args.metrics_interval,
                 recorder_path=args.recorder,
@@ -353,6 +384,7 @@ def udpsmoke_main(argv: Sequence[str]) -> int:
             ["shards x replicas", f"{args.shards} x {args.replicas}"],
             ["wire / batch", f"{args.wire} / {args.batch}"],
             ["chain", args.chain or "off"],
+            ["fast path", "on" if args.fast_path else "off"],
             ["committed", result.committed],
             ["aborted", result.aborted],
             ["retries", result.retries],
@@ -381,11 +413,28 @@ def run(args: argparse.Namespace):
                            sequencer_chain=getattr(args, "chain", 0),
                            sequencer_batch=getattr(args, "seq_batch", 1),
                            chain_pipeline=getattr(args, "seq_batch", 1),
+                           read_fast_path=getattr(args, "read_fast_path",
+                                                  False),
+                           commutative_apply=getattr(args, "commutative",
+                                                     False),
                            net=NetConfig(drop_rate=args.drop_rate,
                                          wire=getattr(args, "wire", "ewc1")))
     registry = ProcedureRegistry()
     count_filter = None
-    if args.workload == "tpcc":
+    if args.workload == "counters":
+        register_counters_procedures(registry)
+        partitioner = Partitioner(args.shards)
+        cluster = build_cluster(
+            config, registry, partitioner,
+            loader=lambda stores, p: load_counters(stores, p, args.keys))
+        workload = CountersWorkload(
+            CountersConfig(n_keys=args.keys,
+                           read_fraction=args.read_fraction,
+                           commutative_fraction=args.commutative_fraction,
+                           multi_shard_fraction=args.distributed,
+                           zipf_theta=args.zipf),
+            partitioner, SplitRandom(args.seed + 1))
+    elif args.workload == "tpcc":
         register_tpcc_procedures(registry)
         scale = TPCCScale(n_warehouses=args.warehouses)
         partitioner = tpcc_partitioner(args.shards)

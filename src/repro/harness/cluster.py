@@ -79,6 +79,14 @@ class ClusterConfig:
     #: UDP backend only: pack up to this many frames per datagram in an
     #: EWCB container (1 = one packet per datagram).
     udp_batch_frames: int = 1
+    #: Coordination-free fast paths (Eris only, default-off; see
+    #: DESIGN.md "The dirty-set protocol"). ``read_fast_path`` lets the
+    #: sequencer serve READ_ONLY transactions over clean keys from a
+    #: single replica; ``commutative_apply`` lets replicas execute
+    #: COMMUTATIVE transactions out of order behind a sequencer-issued
+    #: reorder barrier.
+    read_fast_path: bool = False
+    commutative_apply: bool = False
     #: Attach a causal tracer (``repro.obs``) at build time. Off by
     #: default: benchmarks pay only a per-packet None check.
     tracing: bool = False
@@ -115,6 +123,12 @@ class ClusterConfig:
         if self.udp_batch_frames < 1:
             raise ConfigurationError(
                 f"udp_batch_frames must be >= 1: {self.udp_batch_frames}")
+        if (self.read_fast_path or self.commutative_apply) \
+                and self.system != "eris":
+            raise ConfigurationError(
+                "read_fast_path/commutative_apply require system='eris' "
+                f"(got {self.system!r}); the OUM ablation and the "
+                "baselines have no dirty-set sequencer")
 
 
 class SystemClient:
@@ -278,19 +292,27 @@ def _build_eris(cluster: Cluster, oum: bool = False) -> None:
         cluster.network.groups.define(shard, addrs)
     profile = _PROFILES[config.sequencer_profile]()
     sequencer_cls = OUMSequencer if oum else MultiSequencer
+    # The OUM ablation's sequencer predates the fast-path knobs and the
+    # validate() gate keeps them off for it.
+    fastpath_kwargs = {} if oum else {
+        "read_fast_path": config.read_fast_path,
+        "commutative_apply": config.commutative_apply,
+    }
     chain_addrs: list[str] = []
     if not oum and config.sequencer_chain:
         from repro.net.chainseq import ChainSequencerNode
         for address in topology.chain_addrs:
             node = ChainSequencerNode(address, cluster.network, profile,
                                       stamp_batch=config.sequencer_batch,
-                                      pipeline=config.chain_pipeline)
+                                      pipeline=config.chain_pipeline,
+                                      **fastpath_kwargs)
             chain_addrs.append(node.address)
             cluster.sequencers.append(node)
     standbys: list[MultiSequencer] = []
     for address in topology.standby_addrs:
         standby = sequencer_cls(address, cluster.network, profile,
-                                stamp_batch=config.sequencer_batch)
+                                stamp_batch=config.sequencer_batch,
+                                **fastpath_kwargs)
         standbys.append(standby)
         cluster.sequencers.append(standby)
     cluster.fc = FailureCoordinator(topology.fc_address, cluster.network,
@@ -308,6 +330,9 @@ def _build_eris(cluster: Cluster, oum: bool = False) -> None:
     eris_config = config.eris
     eris_config.execution_cost = config.execution_cost
     eris_config.oum_mode = oum
+    if not oum:
+        eris_config.read_fast_path = config.read_fast_path
+        eris_config.commutative_apply = config.commutative_apply
     for shard, addrs in shard_addrs.items():
         replicas = []
         for index, address in enumerate(addrs):
@@ -362,6 +387,7 @@ def eris_client_factory(runtime, shard_sizes: dict[int, int],
                         retries=outcome.retries)),
                     read_keys=op.read_keys,
                     write_keys=op.write_keys,
+                    op_class=op.op_class,
                 )
 
         return SystemClient(submit, node)

@@ -50,6 +50,7 @@ from repro.runtime.launcher import ClusterLauncher
 from repro.runtime.udp_mp import WorkerUdpRuntime
 from repro.sim.randomness import SplitRandom
 from repro.workloads import Partitioner
+from repro.workloads.counters import CountersConfig, CountersWorkload
 from repro.workloads.ycsb import YCSBConfig, YCSBWorkload
 
 #: Default timer coalescing for worker processes: nearby protocol
@@ -66,6 +67,7 @@ def run_udp_smoke_mp(n_shards: int = 2, n_replicas: int = 3,
                      n_keys: int = 200, seed: int = 7,
                      check: bool = True, chain: int = 0,
                      wire: str = "ewc1", batch: int = 1,
+                     fast_path: bool = False,
                      run_dir: Optional[str] = None,
                      trace: bool = False, metrics: bool = False,
                      metrics_interval: float = 0.05,
@@ -92,7 +94,8 @@ def run_udp_smoke_mp(n_shards: int = 2, n_replicas: int = 3,
     os.makedirs(run_dir, exist_ok=True)
     config = smoke_cluster_config(n_shards=n_shards,
                                   n_replicas=n_replicas, seed=seed,
-                                  chain=chain, wire=wire, batch=batch)
+                                  chain=chain, wire=wire, batch=batch,
+                                  fast_path=fast_path)
     topology = eris_topology(config)
     roles = topology_roles(topology)
     runtime = WorkerUdpRuntime(rank=0, seed=seed, wire=wire,
@@ -119,10 +122,16 @@ def run_udp_smoke_mp(n_shards: int = 2, n_replicas: int = 3,
     clients = [build_client(f"client-{i + 1}")
                for i in range(n_clients)]
 
-    workload_gen = YCSBWorkload(
-        YCSBConfig(workload=workload, n_keys=n_keys,
-                   distributed_fraction=distributed_fraction),
-        Partitioner(n_shards), SplitRandom(seed))
+    if workload == "counters":
+        workload_gen = CountersWorkload(
+            CountersConfig(n_keys=n_keys,
+                           multi_shard_fraction=distributed_fraction),
+            Partitioner(n_shards), SplitRandom(seed))
+    else:
+        workload_gen = YCSBWorkload(
+            YCSBConfig(workload=workload, n_keys=n_keys,
+                       distributed_fraction=distributed_fraction),
+            Partitioner(n_shards), SplitRandom(seed))
     stats = {"committed": 0, "aborted": 0, "retries": 0}
 
     def issue(client) -> None:
@@ -141,6 +150,7 @@ def run_udp_smoke_mp(n_shards: int = 2, n_replicas: int = 3,
     launcher = ClusterLauncher(run_dir)
     spec = {"shards": n_shards, "replicas": n_replicas, "keys": n_keys,
             "seed": seed, "chain": chain, "wire": wire, "batch": batch,
+            "fast_path": fast_path,
             "trace": trace, "metrics": metrics,
             "metrics_interval": metrics_interval, "run_dir": run_dir,
             "recorder_capacity": recorder_capacity,

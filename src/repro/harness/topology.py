@@ -143,6 +143,8 @@ def build_worker_role(role: str, config, topology: ErisTopology,
         load_shard_store(store, partitioner, shard, n_keys)
         eris_config = config.eris
         eris_config.execution_cost = config.execution_cost
+        eris_config.read_fast_path = config.read_fast_path
+        eris_config.commutative_apply = config.commutative_apply
         replica = ErisReplica(
             addrs[index], runtime, shard, index, addrs,
             topology.fc_address, store, registry,
@@ -154,12 +156,16 @@ def build_worker_role(role: str, config, topology: ErisTopology,
         node = ChainSequencerNode(
             topology.chain_addrs[int(rest)], runtime, profile,
             stamp_batch=config.sequencer_batch,
-            pipeline=config.chain_pipeline)
+            pipeline=config.chain_pipeline,
+            read_fast_path=config.read_fast_path,
+            commutative_apply=config.commutative_apply)
         built["sequencers"].append(node)
     elif kind == "seq":
         sequencer = MultiSequencer(
             topology.standby_addrs[int(rest)], runtime, profile,
-            stamp_batch=config.sequencer_batch)
+            stamp_batch=config.sequencer_batch,
+            read_fast_path=config.read_fast_path,
+            commutative_apply=config.commutative_apply)
         built["sequencers"].append(sequencer)
     elif kind == "controller":
         built["controller"] = SDNController(

@@ -27,6 +27,12 @@ from repro.obs.trace import Tracer
 from repro.sim.randomness import SplitRandom
 from repro.store import ProcedureRegistry
 from repro.workloads import Partitioner, register_ycsb_procedures
+from repro.workloads.counters import (
+    CountersConfig,
+    CountersWorkload,
+    load_counters,
+    register_counters_procedures,
+)
 from repro.workloads.ycsb import YCSBConfig, YCSBWorkload, load_ycsb
 
 
@@ -70,14 +76,18 @@ class SmokeResult:
 
 def smoke_cluster_config(n_shards: int = 2, n_replicas: int = 3,
                          seed: int = 7, chain: int = 0,
-                         wire: str = "ewc1",
-                         batch: int = 1) -> ClusterConfig:
+                         wire: str = "ewc1", batch: int = 1,
+                         fast_path: bool = False) -> ClusterConfig:
     """The canonical UDP-smoke :class:`ClusterConfig`.
 
     Shared between the single-process path (:func:`build_udp_cluster`)
     and the per-node workers of a multi-process run — every process
     must derive the identical config so address names, group
-    membership, and protocol timers agree across the cluster."""
+    membership, and protocol timers agree across the cluster.
+
+    ``fast_path`` turns on both coordination-free knobs (Harmonia fast
+    reads + commutative early apply); replicas report execution
+    watermarks on their sync cadence."""
     from repro.net.network import NetConfig
     return ClusterConfig(
         system="eris", backend="udp", n_shards=n_shards,
@@ -90,6 +100,7 @@ def smoke_cluster_config(n_shards: int = 2, n_replicas: int = 3,
         net=NetConfig(wire=wire),
         sequencer_batch=batch, chain_pipeline=batch,
         udp_batch_frames=batch,
+        read_fast_path=fast_path, commutative_apply=fast_path,
         eris=ErisConfig(reply_coalesce=batch, **_UDP_ERIS),
         controller=ControllerConfig(**_UDP_CONTROLLER),
     )
@@ -97,23 +108,32 @@ def smoke_cluster_config(n_shards: int = 2, n_replicas: int = 3,
 
 def build_udp_cluster(n_shards: int = 2, n_replicas: int = 3,
                       n_keys: int = 200, seed: int = 7, chain: int = 0,
-                      wire: str = "ewc1", batch: int = 1) -> Cluster:
-    """An Eris cluster on the asyncio-UDP runtime, YCSB keys loaded.
+                      wire: str = "ewc1", batch: int = 1,
+                      counters: bool = False,
+                      fast_path: bool = False) -> Cluster:
+    """An Eris cluster on the asyncio-UDP runtime, keys loaded.
 
     ``wire`` selects the frame codec (ewc1/ewc2); ``batch > 1`` turns
     on the whole batching stack at that depth — sequencer stamp
     batching, chain forward pipelining, replica reply coalescing, and
     EWCB datagram packing; ``chain`` fronts the system with an N-node
-    chain-replicated sequencer as in the simulator experiments."""
+    chain-replicated sequencer as in the simulator experiments.
+    ``counters`` registers/loads the coordination-free counters
+    workload instead of YCSB; ``fast_path`` turns on both
+    coordination-free knobs."""
     registry = ProcedureRegistry()
-    register_ycsb_procedures(registry)
+    if counters:
+        register_counters_procedures(registry)
+        loader = lambda stores, p: load_counters(stores, p, n_keys)  # noqa: E731
+    else:
+        register_ycsb_procedures(registry)
+        loader = lambda stores, p: load_ycsb(stores, p, n_keys)  # noqa: E731
     partitioner = Partitioner(n_shards)
     config = smoke_cluster_config(n_shards=n_shards,
                                   n_replicas=n_replicas, seed=seed,
-                                  chain=chain, wire=wire, batch=batch)
-    return build_cluster(config, registry, partitioner,
-                         loader=lambda stores, p: load_ycsb(stores, p,
-                                                            n_keys))
+                                  chain=chain, wire=wire, batch=batch,
+                                  fast_path=fast_path)
+    return build_cluster(config, registry, partitioner, loader=loader)
 
 
 class GracefulInterrupt:
@@ -156,6 +176,7 @@ def run_udp_smoke(n_shards: int = 2, n_replicas: int = 3,
                   distributed_fraction: float = 0.5, n_keys: int = 200,
                   seed: int = 7, check: bool = True, chain: int = 0,
                   wire: str = "ewc1", batch: int = 1,
+                  fast_path: bool = False,
                   trace_path: Optional[str] = None,
                   metrics_path: Optional[str] = None,
                   metrics_interval: float = 0.05,
@@ -191,7 +212,9 @@ def run_udp_smoke(n_shards: int = 2, n_replicas: int = 3,
     """
     cluster = build_udp_cluster(n_shards=n_shards, n_replicas=n_replicas,
                                 n_keys=n_keys, seed=seed, chain=chain,
-                                wire=wire, batch=batch)
+                                wire=wire, batch=batch,
+                                counters=(workload == "counters"),
+                                fast_path=fast_path)
     runtime = cluster.runtime
     recorder = FlightRecorder(capacity=recorder_capacity)
     if trace_path is not None:
@@ -203,10 +226,16 @@ def run_udp_smoke(n_shards: int = 2, n_replicas: int = 3,
         cluster.instrument_metrics()
         sampler = MetricsSampler(runtime, cluster.metrics,
                                  interval=metrics_interval)
-    workload_gen = YCSBWorkload(
-        YCSBConfig(workload=workload, n_keys=n_keys,
-                   distributed_fraction=distributed_fraction),
-        cluster.partitioner, SplitRandom(seed))
+    if workload == "counters":
+        workload_gen = CountersWorkload(
+            CountersConfig(n_keys=n_keys,
+                           multi_shard_fraction=distributed_fraction),
+            cluster.partitioner, SplitRandom(seed))
+    else:
+        workload_gen = YCSBWorkload(
+            YCSBConfig(workload=workload, n_keys=n_keys,
+                       distributed_fraction=distributed_fraction),
+            cluster.partitioner, SplitRandom(seed))
 
     stats = {"committed": 0, "aborted": 0, "retries": 0}
     clients = [cluster.make_client() for _ in range(n_clients)]

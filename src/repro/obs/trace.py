@@ -173,6 +173,15 @@ class Tracer:
         }
         if queue_delay is not None:
             data["queue_delay"] = queue_delay
+        # Operation class and declared write set (when the payload is a
+        # transaction) feed the §6.7 fast-path checkers: they are the
+        # sequencer-side ground truth a forged relaxed-path event is
+        # checked against.
+        txn = getattr(packet.payload, "txn", None)
+        if txn is not None:
+            data["txn"] = txn.txn_id.label()
+            data["op_class"] = txn.op_class
+            data["write_keys"] = sorted(repr(k) for k in txn.write_keys)
         self.record("stamp", node, cause=cause, **data)
 
     # -- export / query -----------------------------------------------------

@@ -1140,6 +1140,11 @@ def _ensure_registry() -> None:
         core_messages.ReconReply,
         core_messages.SyncLog,
         core_messages.SyncAck,
+        # coordination-free fast paths
+        core_messages.CommutativeTxnRequest,
+        core_messages.AppliedUpto,
+        core_messages.FastReadRequest,
+        core_messages.FastReadReply,
         # control plane
         controller.SequencerPing,
         controller.SequencerPong,

@@ -83,7 +83,11 @@ class Worker:
         )
         from repro.harness.udp_smoke import smoke_cluster_config
         from repro.store import ProcedureRegistry
-        from repro.workloads import Partitioner, register_ycsb_procedures
+        from repro.workloads import (
+            Partitioner,
+            register_counters_procedures,
+            register_ycsb_procedures,
+        )
 
         self.role = role
         self.rank = rank
@@ -92,7 +96,8 @@ class Worker:
         config = smoke_cluster_config(
             n_shards=spec["shards"], n_replicas=spec["replicas"],
             seed=spec["seed"], chain=spec["chain"], wire=spec["wire"],
-            batch=spec["batch"])
+            batch=spec["batch"],
+            fast_path=bool(spec.get("fast_path", False)))
         self.runtime = WorkerUdpRuntime(
             rank=rank, seed=config.seed, wire=config.net.wire,
             batch_frames=config.udp_batch_frames,
@@ -107,6 +112,10 @@ class Worker:
             cause_base=rank * CAUSE_ID_STRIDE))
         registry = ProcedureRegistry()
         register_ycsb_procedures(registry)
+        # Counters procedures ride along unconditionally: workers don't
+        # know which workload the driver generates, and an unused
+        # registration costs nothing.
+        register_counters_procedures(registry)
         partitioner = Partitioner(spec["shards"])
         topology = eris_topology(config)
         define_groups(self.runtime, topology)

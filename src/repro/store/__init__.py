@@ -11,7 +11,7 @@
 
 from repro.store.kv import KVStore, MISSING
 from repro.store.locks import LockManager, LockMode, LockOutcome, LockRequest
-from repro.store.procedures import ProcedureRegistry, TxnContext
+from repro.store.procedures import OpClass, ProcedureRegistry, TxnContext
 from repro.store.undo import UndoLog
 
 __all__ = [
@@ -21,6 +21,7 @@ __all__ = [
     "LockMode",
     "LockOutcome",
     "LockRequest",
+    "OpClass",
     "ProcedureRegistry",
     "TxnContext",
     "UndoLog",

@@ -4,8 +4,16 @@
 - :mod:`repro.workloads.ycsb` — YCSB+T: the SRW / MRMW / CRMW
   transactional microbenchmarks of §8.1.
 - :mod:`repro.workloads.tpcc` — TPC-C with H-Store partitioning (§8.2).
+- :mod:`repro.workloads.counters` — coordination-free counters: the
+  commutativity-heavy mix exercising the op-class fast paths.
 """
 
+from repro.workloads.counters import (
+    CountersConfig,
+    CountersWorkload,
+    load_counters,
+    register_counters_procedures,
+)
 from repro.workloads.partition import Partitioner
 from repro.workloads.ycsb import (
     YCSBConfig,
@@ -15,9 +23,13 @@ from repro.workloads.ycsb import (
 from repro.workloads.zipf import ZipfGenerator
 
 __all__ = [
+    "CountersConfig",
+    "CountersWorkload",
     "Partitioner",
     "YCSBConfig",
     "YCSBWorkload",
+    "load_counters",
+    "register_counters_procedures",
     "register_ycsb_procedures",
     "ZipfGenerator",
 ]
